@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 6: nanopore sequencing throughput is increasing
+ * exponentially.  Platform roadmap plus the classifier throughput
+ * wall it creates.
+ */
+
+#include "bench_util.hpp"
+#include "basecall/perf_model.hpp"
+#include "common/table.hpp"
+#include "pipeline/devices.hpp"
+
+using namespace sf;
+
+int
+main()
+{
+    bench::banner("Sequencing throughput growth", "Figure 6 / §3.2");
+
+    const basecall::BasecallerPerfModel jetson_lite(
+        basecall::BasecallerKind::GuppyLite,
+        basecall::Device::JetsonXavier);
+
+    Table table("Figure 6: sequencer roadmap vs edge basecalling",
+                {"Platform", "x MinION", "Samples/s", "Bases/s",
+                 "Jetson Guppy-lite pore coverage"});
+    for (const auto &seq : pipeline::sequencerRoadmap()) {
+        table.addRow({seq.model, fmt(seq.relativeToMinion, 3),
+                      fmtInt(long(seq.samplesPerSec)),
+                      fmtInt(long(seq.basesPerSec)),
+                      fmtPct(jetson_lite.poreCoverage(seq.basesPerSec),
+                             1)});
+    }
+    table.print();
+    std::printf("Takeaway (paper §3.2): an edge GPU already covers "
+                "only ~41.5%% of today's MinION; the roadmap makes "
+                "software basecalling untenable for Read Until.\n");
+    return 0;
+}

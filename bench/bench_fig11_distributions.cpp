@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 11: sDTW alignment-cost distributions for lambda phage
+ * (target) vs human (background) reads at three prefix lengths —
+ * longer prefixes separate the classes more cleanly, and a single
+ * static threshold distinguishes them.
+ */
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+
+using namespace sf;
+
+int
+main()
+{
+    bench::banner("sDTW cost distributions (lambda vs human)",
+                  "Figure 11");
+
+    const auto per_class = pipeline::scaledReads(30);
+    const auto dataset = pipeline::makeLambdaDataset(per_class);
+    const auto accuracy = bench::measureAccuracy(
+        pipeline::lambdaSquiggle(), dataset.reads,
+        {1000, 2000, 4000}, sdtw::hardwareConfig());
+
+    for (const auto &[prefix, acc] : accuracy) {
+        std::vector<double> target, decoy;
+        sdtw::splitCosts(acc.costs, target, decoy);
+
+        double hi = 0.0;
+        for (double c : decoy)
+            hi = std::max(hi, c);
+        for (double c : target)
+            hi = std::max(hi, c);
+
+        std::printf("--- prefix = %zu samples  (n=%zu+%zu reads, "
+                    "AUC=%.3f, best threshold=%.0f) ---\n",
+                    prefix, target.size(), decoy.size(), acc.auc,
+                    acc.bestThreshold);
+        Histogram t_hist(0.0, hi + 1.0, 12);
+        Histogram d_hist(0.0, hi + 1.0, 12);
+        for (double c : target)
+            t_hist.add(c);
+        for (double c : decoy)
+            d_hist.add(c);
+        std::printf("lambda (target) costs:\n%s",
+                    t_hist.render(40).c_str());
+        std::printf("human (background) costs:\n%s\n",
+                    d_hist.render(40).c_str());
+        std::printf("target mean %.0f | background mean %.0f | "
+                    "separation %.2fx\n\n",
+                    mean(target), mean(decoy),
+                    mean(decoy) / std::max(1.0, mean(target)));
+    }
+    std::printf("Shape check (paper Fig 11): overlap shrinks as the "
+                "prefix grows; a static threshold separates the "
+                "classes from ~2000 samples on.\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 18: ablation of the sDTW modifications (§4.7) — maximal
+ * F-score for each algorithm variant across prefix lengths, plus an
+ * extension sweep over the match-bonus constant (a design choice
+ * DESIGN.md calls out).
+ */
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace sf;
+
+int
+main()
+{
+    bench::banner("sDTW modification ablation", "Figure 18");
+
+    const auto per_class = pipeline::scaledReads(20);
+    const auto dataset = pipeline::makeLambdaDataset(per_class);
+    const auto &reference = pipeline::lambdaSquiggle();
+    const std::vector<std::size_t> prefixes{1000, 2000};
+
+    struct Variant
+    {
+        const char *name;
+        sdtw::SdtwConfig config;
+        sdtw::EngineKind kind;
+    };
+
+    auto base = sdtw::vanillaConfig(); // squared, ref-del, no bonus
+    auto abs_only = base;
+    abs_only.metric = sdtw::CostMetric::AbsoluteDifference;
+    auto no_refdel = base;
+    no_refdel.allowReferenceDeletion = false;
+    auto combined = sdtw::hardwareConfig();
+    combined.matchBonus = 0.0; // abs + int8 + no-refdel, no bonus
+    const auto hardware = sdtw::hardwareConfig();
+
+    const std::vector<Variant> variants = {
+        {"standard sDTW (float, sq, refdel)", base,
+         sdtw::EngineKind::Float},
+        {"+ absolute difference", abs_only, sdtw::EngineKind::Float},
+        {"+ integer normalization", base, sdtw::EngineKind::Quantized},
+        {"+ no reference deletions", no_refdel,
+         sdtw::EngineKind::Float},
+        {"all three (no bonus)", combined,
+         sdtw::EngineKind::Quantized},
+        {"all three + match bonus (hardware)", hardware,
+         sdtw::EngineKind::Quantized},
+    };
+
+    Table table("Figure 18: maximal F-score per sDTW variant",
+                {"Variant", "Prefix", "Max F1", "AUC"});
+    for (const auto &variant : variants) {
+        for (std::size_t prefix : prefixes) {
+            const auto acc = bench::measureAccuracy(
+                reference, dataset.reads, {prefix}, variant.config,
+                variant.kind);
+            const auto &a = acc.at(prefix);
+            table.addRow({variant.name, fmtInt(long(prefix)),
+                          fmt(a.bestF1, 3), fmt(a.auc, 3)});
+        }
+    }
+    table.print();
+    std::printf("Shape checks (paper Fig 18): accuracy rises with "
+                "prefix length; abs-diff and int8 cost a little; "
+                "removing ref deletions helps slightly; the match "
+                "bonus recovers the combined variant.\n\n");
+
+    // Extension: sweep the match-bonus constant (ablation beyond the
+    // paper; DESIGN.md §6).
+    Table bonus("Extension: match-bonus constant sweep "
+                "(prefix 2000, hardware config otherwise)",
+                {"matchBonus", "Max F1", "AUC"});
+    for (double b : {0.0, 1.0, 2.0, 4.0, 8.0}) {
+        auto config = sdtw::hardwareConfig();
+        config.matchBonus = b;
+        const auto acc = bench::measureAccuracy(
+            reference, dataset.reads, {2000}, config,
+            sdtw::EngineKind::Quantized);
+        bonus.addRow({fmt(b, 2), fmt(acc.at(2000).bestF1, 3),
+                      fmt(acc.at(2000).auc, 3)});
+    }
+    bonus.print();
+    return 0;
+}

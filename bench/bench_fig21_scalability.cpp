@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 21: future Read Until benefits as sequencing throughput
+ * scales 1x..128x.  GPU basecalling can serve a shrinking fraction of
+ * pores, eroding its Read Until benefit; SquiggleFilter keeps up to
+ * ~114x.  Includes a tile-count extension sweep (DESIGN.md §6).
+ */
+
+#include "bench_util.hpp"
+#include "basecall/perf_model.hpp"
+#include "common/table.hpp"
+#include "hw/asic_model.hpp"
+#include "readuntil/model.hpp"
+
+using namespace sf;
+
+namespace {
+
+double
+hoursAt(double scale, double coverage_fraction, double tpr, double fpr,
+        double latency_sec)
+{
+    readuntil::SequencingParams params;
+    params.targetFraction = 0.01;
+    params.throughputScale = scale;
+    readuntil::ClassifierParams c;
+    c.tpr = tpr;
+    c.fpr = fpr;
+    c.decisionLatencySec = latency_sec;
+    c.channelCoverage = coverage_fraction;
+    return readuntil::ReadUntilModel(params).withReadUntil(c).hours;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Read Until benefit vs future sequencer throughput",
+                  "Figure 21 / §7.5");
+
+    const auto &sars = pipeline::sarsCov2Squiggle();
+    const hw::AsicModel asic(2000, 5);
+    const basecall::BasecallerPerfModel jetson_lite(
+        basecall::BasecallerKind::GuppyLite,
+        basecall::Device::JetsonXavier);
+
+    // Accuracy anchors: Guppy-lite slightly more accurate (paper
+    // §7.5), SquiggleFilter slightly behind.
+    const double lite_tpr = 0.97, lite_fpr = 0.03;
+    const double sf_tpr = 0.95, sf_fpr = 0.05;
+    const double sf_chip_samples =
+        asic.chipThroughputSamplesPerSec(2000, sars.size(), 5);
+
+    Table table("Figure 21: time to 30x SARS-CoV-2 genome (hours)",
+                {"Throughput scale", "No Read Until",
+                 "Guppy-lite (Jetson)", "pore coverage",
+                 "SquiggleFilter", "pore coverage"});
+    for (double scale : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0}) {
+        readuntil::SequencingParams params;
+        params.targetFraction = 0.01;
+        params.throughputScale = scale;
+        const double none =
+            readuntil::ReadUntilModel(params).withoutReadUntil().hours;
+
+        const double seq_bases = kMinionMaxBasesPerSec * scale;
+        const double seq_samples = kMinionMaxSamplesPerSec * scale;
+        const double lite_cov = jetson_lite.poreCoverage(seq_bases);
+        const double sf_cov =
+            std::min(1.0, sf_chip_samples / seq_samples);
+
+        const double lite_h =
+            hoursAt(scale, lite_cov, lite_tpr, lite_fpr,
+                    jetson_lite.decisionLatencyMs() / 1e3);
+        const double sf_h = hoursAt(
+            scale, sf_cov, sf_tpr, sf_fpr,
+            hw::AsicModel::classifyLatencyMs(2000, sars.size()) / 1e3);
+
+        table.addRow({fmt(scale, 4) + "x", fmt(none, 3),
+                      fmt(lite_h, 3), fmtPct(lite_cov, 1),
+                      fmt(sf_h, 3), fmtPct(sf_cov, 1)});
+    }
+    table.print();
+    std::printf("Shape check (paper Fig 21): Guppy-lite's benefit "
+                "erodes as its pore coverage collapses; "
+                "SquiggleFilter sustains Read Until to ~%.0fx.\n\n",
+                sf_chip_samples / kMinionMaxSamplesPerSec);
+
+    Table tiles("Extension: tile-count sweep at 16x throughput",
+                {"Active tiles", "Chip power (W)", "Pore coverage",
+                 "Runtime (h)"});
+    for (int t = 1; t <= 5; ++t) {
+        const hw::AsicModel chip(2000, 5);
+        const double cov = std::min(
+            1.0, chip.chipThroughputSamplesPerSec(2000, sars.size(),
+                                                  t) /
+                     (kMinionMaxSamplesPerSec * 16.0));
+        tiles.addRow({fmtInt(t), fmt(chip.chipPowerW(t), 3),
+                      fmtPct(cov, 1),
+                      fmt(hoursAt(16.0, cov, sf_tpr, sf_fpr, 4e-5),
+                          3)});
+    }
+    tiles.print();
+    return 0;
+}

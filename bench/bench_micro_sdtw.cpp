@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Microbenchmarks of the sDTW kernels: software engine throughput
+ * (cells/second) across configurations, the normaliser, and the
+ * cycle-accurate systolic-array simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "hw/systolic.hpp"
+#include "pipeline/experiments.hpp"
+#include "sdtw/engine.hpp"
+#include "sdtw/normalizer.hpp"
+#include "sdtw/vanilla.hpp"
+
+using namespace sf;
+
+namespace {
+
+std::vector<NormSample>
+randomQuant(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<NormSample> out(n);
+    for (auto &s : out)
+        s = NormSample(rng.uniformInt(-128, 127));
+    return out;
+}
+
+void
+BM_QuantSdtw(benchmark::State &state)
+{
+    const auto query = randomQuant(std::size_t(state.range(0)), 1);
+    const auto ref = randomQuant(std::size_t(state.range(1)), 2);
+    const sdtw::QuantSdtw engine(sdtw::hardwareConfig());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.align(query, ref));
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            state.range(0) * state.range(1));
+    state.counters["cells/s"] = benchmark::Counter(
+        double(state.range(0)) * double(state.range(1)),
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_QuantSdtw)
+    ->Args({500, 10000})
+    ->Args({2000, 10000})
+    ->Args({2000, 59796}); // SARS-CoV-2-sized reference
+
+void
+BM_QuantSdtwNoBonus(benchmark::State &state)
+{
+    const auto query = randomQuant(2000, 3);
+    const auto ref = randomQuant(std::size_t(state.range(0)), 4);
+    auto config = sdtw::hardwareConfig();
+    config.matchBonus = 0.0;
+    const sdtw::QuantSdtw engine(config);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.align(query, ref));
+    state.counters["cells/s"] = benchmark::Counter(
+        2000.0 * double(state.range(0)),
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_QuantSdtwNoBonus)->Arg(10000);
+
+void
+BM_FloatSdtwVanilla(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<float> query(500), ref(5000);
+    for (auto &v : query)
+        v = float(rng.uniform(-3, 3));
+    for (auto &v : ref)
+        v = float(rng.uniform(-3, 3));
+    const sdtw::FloatSdtw engine(sdtw::vanillaConfig());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.align(query, ref));
+    state.counters["cells/s"] = benchmark::Counter(
+        double(query.size()) * double(ref.size()),
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_FloatSdtwVanilla);
+
+void
+BM_Normalizer(benchmark::State &state)
+{
+    Rng rng(6);
+    std::vector<RawSample> raw(2000);
+    for (auto &s : raw)
+        s = RawSample(rng.uniformInt(0, kAdcMax));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sdtw::MeanMadNormalizer::normalize(raw));
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * 2000);
+}
+BENCHMARK(BM_Normalizer);
+
+void
+BM_SystolicArraySim(benchmark::State &state)
+{
+    const auto query = randomQuant(std::size_t(state.range(0)), 7);
+    const auto ref = randomQuant(std::size_t(state.range(1)), 8);
+    hw::SystolicArray array(query.size());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(array.run(query, ref));
+    state.counters["PE-cycles/s"] = benchmark::Counter(
+        double(query.size()) * double(ref.size()),
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SystolicArraySim)->Args({64, 2000})->Args({256, 2000});
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Table 3: architectural specifications of the evaluated devices.
+ */
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "pipeline/devices.hpp"
+
+using namespace sf;
+
+int
+main()
+{
+    bench::banner("Evaluated compute devices", "Table 3");
+
+    Table table("Table 3: architectural specifications",
+                {"Model", "Class", "Cores", "Clock (MHz)", "Power (W)"});
+    for (const auto &device : pipeline::evaluatedDevices()) {
+        table.addRow({device.model, device.kind,
+                      fmtInt(device.cores), fmt(device.clockMHz, 4),
+                      fmt(device.powerW, 3)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,72 @@
+#ifndef SF_BENCH_UTIL_HPP
+#define SF_BENCH_UTIL_HPP
+
+/**
+ * @file
+ * Shared helpers for the experiment harnesses in bench/.
+ *
+ * Every binary regenerates one table or figure from the paper and
+ * prints the same rows/series the paper reports.  Dataset sizes scale
+ * with SF_SCALE (see pipeline/experiments.hpp); the defaults keep the
+ * full suite runnable in minutes on a laptop.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "pipeline/experiments.hpp"
+#include "sdtw/threshold.hpp"
+
+namespace sf::bench {
+
+/** Measured classifier operating data at one prefix length. */
+struct PrefixAccuracy
+{
+    std::vector<sdtw::CostSample> costs;
+    double auc = 0.0;
+    double bestF1 = 0.0;
+    double bestThreshold = 0.0;
+    double tprAtBest = 0.0;
+    double fprAtBest = 0.0;
+};
+
+/** Align every read at each prefix length and summarise accuracy. */
+inline std::map<std::size_t, PrefixAccuracy>
+measureAccuracy(const pore::ReferenceSquiggle &reference,
+                const std::vector<signal::ReadRecord> &reads,
+                const std::vector<std::size_t> &prefixes,
+                const sdtw::SdtwConfig &config,
+                sdtw::EngineKind kind = sdtw::EngineKind::Quantized)
+{
+    std::map<std::size_t, PrefixAccuracy> out;
+    for (std::size_t prefix : prefixes) {
+        PrefixAccuracy acc;
+        acc.costs =
+            sdtw::collectCosts(reference, reads, prefix, config, kind);
+        const auto roc = sdtw::sweepThresholds(acc.costs, 300);
+        const auto best = roc.bestF1();
+        acc.auc = roc.auc();
+        acc.bestF1 = best.f1;
+        acc.bestThreshold = best.threshold;
+        acc.tprAtBest = best.tpr;
+        acc.fprAtBest = best.fpr;
+        out.emplace(prefix, std::move(acc));
+    }
+    return out;
+}
+
+/** Print a header naming the experiment and its paper anchor. */
+inline void
+banner(const char *experiment, const char *paper_anchor)
+{
+    std::printf("================================================\n");
+    std::printf("%s\n(reproduces %s)\n", experiment, paper_anchor);
+    std::printf("SF_SCALE=%.2f\n", pipeline::benchScale());
+    std::printf("================================================\n\n");
+}
+
+} // namespace sf::bench
+
+#endif // SF_BENCH_UTIL_HPP

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: build a reference squiggle for a target virus, simulate
+ * one viral and one background read, and classify both with the
+ * SquiggleFilter — the minimal end-to-end use of the public API.
+ */
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "genome/synthetic.hpp"
+#include "pore/kmer_model.hpp"
+#include "pore/reference_squiggle.hpp"
+#include "sdtw/filter.hpp"
+#include "sdtw/threshold.hpp"
+#include "signal/dataset.hpp"
+
+int
+main()
+{
+    using namespace sf;
+
+    // 1. A target virus reference and a host background.  (Real
+    // deployments would load FASTA via genome::readFastaFile.)
+    const genome::Genome virus = genome::makeSarsCov2();
+    const genome::Genome host = genome::makeHumanBackground(500000);
+    std::printf("target: %s (%zu bases)\n", virus.name().c_str(),
+                virus.size());
+
+    // 2. Precompute the reference squiggle (both strands, quantised).
+    const pore::KmerModel model = pore::KmerModel::makeR941();
+    const pore::ReferenceSquiggle reference(virus, model);
+    std::printf("reference squiggle: %zu samples\n", reference.size());
+
+    // 3. Simulate a small labelled run and calibrate a threshold.
+    const signal::SignalSimulator simulator(model);
+    const signal::DatasetGenerator generator(virus, host, simulator);
+    signal::DatasetSpec spec;
+    spec.numReads = 40;
+    spec.targetFraction = 0.5;
+    spec.seed = 7;
+    const auto calibration = generator.generate(spec);
+    const auto costs = sdtw::collectCosts(
+        reference, calibration.reads, 2000, sdtw::hardwareConfig());
+    const Cost threshold = Cost(sdtw::bestF1Threshold(costs));
+    std::printf("calibrated ejection threshold: %u\n", threshold);
+
+    // 4. Classify fresh reads.
+    sdtw::SquiggleFilterClassifier classifier(reference);
+    classifier.setSingleStage(2000, threshold);
+
+    Rng rng(99);
+    const auto viral_read =
+        generator.sampleRead(signal::ReadOrigin::Target, 2000, rng);
+    const auto host_read =
+        generator.sampleRead(signal::ReadOrigin::Background, 6000, rng);
+
+    for (const auto *read : {&viral_read, &host_read}) {
+        const auto result = classifier.classify(read->raw);
+        std::printf("%-10s read: cost=%8u -> %s (after %zu samples)\n",
+                    read->isTarget() ? "viral" : "background",
+                    result.cost,
+                    result.keep ? "KEEP (sequence fully)"
+                                : "EJECT (Read Until)",
+                    result.samplesUsed);
+    }
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Strain typing: sequence an emerging SARS-CoV-2 clade, assemble it
+ * against the original reference, and report the strain-defining
+ * mutations (the Table 2 workflow as a user-facing application).
+ */
+
+#include <cstdio>
+
+#include "align/aligner.hpp"
+#include "assembly/assembler.hpp"
+#include "common/rng.hpp"
+#include "genome/mutate.hpp"
+#include "pipeline/experiments.hpp"
+
+int
+main()
+{
+    using namespace sf;
+
+    const auto &reference = pipeline::sarsCov2Genome();
+    const auto clades = genome::makeSarsCov2Clades(reference);
+    const align::ReadAligner aligner(reference);
+
+    std::printf("reference: %s (%zu bases)\n\n",
+                reference.name().c_str(), reference.size());
+
+    // Pick one clade as "the outbreak sample".
+    const auto &outbreak = clades[2]; // 20A, 22 SNPs
+    std::printf("sequencing strain %s (%zu true mutations)...\n",
+                outbreak.genome.name().c_str(),
+                outbreak.variants.size());
+
+    assembly::ReferenceGuidedAssembler assembler(reference, aligner,
+                                                 25.0);
+    Rng rng(0x20a);
+    std::size_t reads = 0;
+    while (!assembler.coverageReached()) {
+        const std::size_t len = 3000;
+        const auto start = std::size_t(
+            rng.uniformInt(0, long(outbreak.genome.size() - len)));
+        auto bases = outbreak.genome.slice(start, len);
+        for (auto &b : bases) {
+            if (rng.bernoulli(0.04)) // nanopore-grade errors
+                b = static_cast<genome::Base>(rng.uniformInt(0, 3));
+        }
+        if (rng.bernoulli(0.5))
+            bases = genome::reverseComplement(bases);
+        assembler.addRead(bases);
+        ++reads;
+    }
+    const auto stats = assembler.stats();
+    std::printf("%zu reads -> %.1fx mean coverage\n", reads,
+                stats.meanCoverage);
+
+    const auto result = assembler.assemble();
+    std::printf("\ncalled %zu variants:\n", result.variants.size());
+    std::size_t recovered = 0;
+    for (const auto &variant : result.variants) {
+        bool truth = false;
+        for (const auto &expected : outbreak.variants) {
+            if (expected.position == variant.position &&
+                expected.alt == variant.alt) {
+                truth = true;
+                break;
+            }
+        }
+        recovered += truth;
+        std::printf("  pos %6zu  %c -> %c   %s\n", variant.position,
+                    genome::baseToChar(variant.ref.front()),
+                    genome::baseToChar(variant.alt.front()),
+                    truth ? "(known clade SNP)" : "(unexpected)");
+    }
+    std::printf("\nrecovered %zu / %zu strain-defining mutations\n",
+                recovered, outbreak.variants.size());
+    return 0;
+}

@@ -1,0 +1,95 @@
+#include "align/aligner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace sf::align {
+
+ReadAligner::ReadAligner(const genome::Genome &reference,
+                         AlignerConfig config)
+    : reference_(reference), config_(config),
+      index_(reference, config.minimizer)
+{
+    config_.chain.kmerLength = config_.minimizer.k;
+}
+
+double
+ReadAligner::chainScore(const std::vector<genome::Base> &query) const
+{
+    const auto minimizers =
+        extractMinimizers(query, config_.minimizer);
+    if (minimizers.empty())
+        return 0.0;
+    const auto chains =
+        chainHits(index_.seedHits(minimizers), config_.chain);
+    return chains.empty() ? 0.0 : chains.front().score;
+}
+
+Alignment
+ReadAligner::map(const std::vector<genome::Base> &query) const
+{
+    Alignment result;
+    if (query.size() < std::size_t(config_.minimizer.k))
+        return result;
+
+    const auto minimizers =
+        extractMinimizers(query, config_.minimizer);
+    const auto chains =
+        chainHits(index_.seedHits(minimizers), config_.chain);
+    if (chains.empty())
+        return result;
+    const Chain &best = chains.front();
+
+    // Mapping quality from the margin over the runner-up chain.
+    const double second = chains.size() > 1 ? chains[1].score : 0.0;
+    const double margin =
+        best.score > 0.0 ? 1.0 - second / best.score : 0.0;
+    result.mapq = int(std::clamp(60.0 * margin, 0.0, 60.0));
+    result.chainScore = best.score;
+    result.reverseStrand = !best.sameStrand;
+
+    // Orient the query along the reference.
+    std::vector<genome::Base> oriented = query;
+    std::uint32_t query_start = best.queryStart;
+    if (result.reverseStrand) {
+        oriented = genome::reverseComplement(query);
+        // Anchor positions flip under reverse complement.
+        query_start = std::uint32_t(query.size()) -
+                      std::uint32_t(config_.minimizer.k) - best.queryEnd;
+    }
+
+    // Reference window around the chain, with slack for unanchored
+    // read ends.  The window is sized close to the query so that the
+    // banded extension's diagonal (slope ~1 plus the margins) always
+    // contains the true alignment.
+    const std::uint32_t lead = query_start + config_.extensionMargin;
+    const std::uint32_t window_start =
+        best.refStart > lead ? best.refStart - lead : 0;
+    const std::uint32_t window_end = std::min<std::uint32_t>(
+        std::uint32_t(reference_.size()),
+        window_start + std::uint32_t(oriented.size()) +
+            2 * config_.extensionMargin);
+    if (window_end <= window_start)
+        return result;
+
+    const auto window = reference_.slice(window_start,
+                                         window_end - window_start);
+    const auto band = std::uint32_t(std::max(
+        double(config_.extensionMargin) + 64.0,
+        config_.bandFraction * double(oriented.size())));
+    const Extension ext = bandedExtend(oriented, window, band);
+    if (!ext.valid || ext.identity() < config_.minIdentity)
+        return result;
+
+    result.mapped = true;
+    result.refStart = window_start + ext.refBegin;
+    result.refEnd = window_start + ext.refEnd;
+    result.identity = ext.identity();
+    result.cigar = ext.cigar;
+    result.alignedQuery = std::move(oriented);
+    return result;
+}
+
+} // namespace sf::align

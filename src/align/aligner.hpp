@@ -1,0 +1,81 @@
+#ifndef SF_ALIGN_ALIGNER_HPP
+#define SF_ALIGN_ALIGNER_HPP
+
+/**
+ * @file
+ * The minimap2-lite read aligner: minimizer seeding -> chaining ->
+ * banded extension.  Serves two roles from the paper's pipeline
+ * (Figure 4): classifying basecalled read prefixes for the baseline
+ * Read Until comparison, and producing the base-level alignments the
+ * assembler piles up.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "align/chain.hpp"
+#include "align/extend.hpp"
+#include "align/index.hpp"
+#include "genome/genome.hpp"
+
+namespace sf::align {
+
+/** A mapped read. */
+struct Alignment
+{
+    bool mapped = false;
+    std::uint32_t refStart = 0;  //!< reference start (0-based)
+    std::uint32_t refEnd = 0;    //!< reference end (exclusive)
+    bool reverseStrand = false;  //!< query aligned as reverse complement
+    double chainScore = 0.0;     //!< seeding/chaining score
+    double identity = 0.0;       //!< base-level identity
+    int mapq = 0;                //!< 0-60 mapping quality
+    std::vector<CigarOp> cigar;  //!< base-level operations
+    std::vector<genome::Base> alignedQuery; //!< query in ref orientation
+};
+
+/** Aligner tuning knobs. */
+struct AlignerConfig
+{
+    MinimizerConfig minimizer;
+    ChainConfig chain;
+    std::uint32_t extensionMargin = 300; //!< window slack around chain
+    double minIdentity = 0.62;   //!< below this a read is unmapped
+    double bandFraction = 0.06;  //!< extension band = max(300, f*len)
+};
+
+/** Reference-indexed aligner. */
+class ReadAligner
+{
+  public:
+    /** Build the minimizer index of @p reference. */
+    explicit ReadAligner(const genome::Genome &reference,
+                         AlignerConfig config = {});
+
+    /** Map a read; Alignment::mapped is false when no chain survives. */
+    Alignment map(const std::vector<genome::Base> &query) const;
+
+    /**
+     * Fast classification used on the Read Until critical path: does
+     * the (prefix of a) read chain against the target reference?
+     * Skips the base-level extension entirely.
+     * @return best chain score, or 0 when nothing chains
+     */
+    double chainScore(const std::vector<genome::Base> &query) const;
+
+    /** The indexed reference. */
+    const genome::Genome &reference() const { return reference_; }
+
+    /** Aligner configuration. */
+    const AlignerConfig &config() const { return config_; }
+
+  private:
+    const genome::Genome &reference_;
+    AlignerConfig config_;
+    MinimizerIndex index_;
+};
+
+} // namespace sf::align
+
+#endif // SF_ALIGN_ALIGNER_HPP

@@ -1,0 +1,118 @@
+#include "align/chain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sf::align {
+
+namespace {
+
+/** Chain the hits of one strand class with the classic O(n^2) DP. */
+void
+chainStrand(std::vector<SeedHit> &hits, bool same_strand,
+            const ChainConfig &config, std::vector<Chain> &out)
+{
+    if (hits.empty())
+        return;
+    std::sort(hits.begin(), hits.end(),
+              [](const SeedHit &a, const SeedHit &b) {
+                  if (a.queryPos != b.queryPos)
+                      return a.queryPos < b.queryPos;
+                  return a.refPos < b.refPos;
+              });
+
+    const std::size_t n = hits.size();
+    std::vector<double> score(n);
+    std::vector<long> parent(n, -1);
+    for (std::size_t i = 0; i < n; ++i)
+        score[i] = config.kmerLength;
+
+    for (std::size_t i = 1; i < n; ++i) {
+        for (std::size_t j = i; j-- > 0;) {
+            if (hits[i].queryPos <= hits[j].queryPos)
+                continue;
+            const std::uint32_t qd = hits[i].queryPos - hits[j].queryPos;
+            if (qd > config.maxGap)
+                break; // sorted by queryPos: older anchors only farther
+            // For same-strand chains the reference advances with the
+            // query; for opposite-strand chains it retreats.
+            std::uint32_t rd;
+            if (same_strand) {
+                if (hits[i].refPos <= hits[j].refPos)
+                    continue;
+                rd = hits[i].refPos - hits[j].refPos;
+            } else {
+                if (hits[j].refPos <= hits[i].refPos)
+                    continue;
+                rd = hits[j].refPos - hits[i].refPos;
+            }
+            if (rd > config.maxGap)
+                continue;
+            const std::uint32_t drift = rd > qd ? rd - qd : qd - rd;
+            if (drift > config.maxDiagDrift)
+                continue;
+            const double gain =
+                std::min<double>(config.kmerLength, qd) -
+                0.05 * double(drift);
+            if (score[j] + gain > score[i]) {
+                score[i] = score[j] + gain;
+                parent[i] = long(j);
+            }
+        }
+    }
+
+    // Extract chains greedily from best unused tail.
+    std::vector<bool> used(n, false);
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a,
+                                              std::size_t b) {
+        return score[a] > score[b];
+    });
+
+    for (std::size_t tail : order) {
+        if (used[tail] || score[tail] < config.minScore)
+            continue;
+        Chain chain;
+        chain.sameStrand = same_strand;
+        chain.score = score[tail];
+        long cursor = long(tail);
+        while (cursor >= 0 && !used[std::size_t(cursor)]) {
+            used[std::size_t(cursor)] = true;
+            chain.anchors.push_back(hits[std::size_t(cursor)]);
+            cursor = parent[std::size_t(cursor)];
+        }
+        std::reverse(chain.anchors.begin(), chain.anchors.end());
+        if (chain.anchors.empty())
+            continue;
+
+        chain.queryStart = chain.anchors.front().queryPos;
+        chain.queryEnd = chain.anchors.back().queryPos;
+        chain.refStart = chain.anchors.front().refPos;
+        chain.refEnd = chain.anchors.back().refPos;
+        if (chain.refStart > chain.refEnd)
+            std::swap(chain.refStart, chain.refEnd);
+        out.push_back(std::move(chain));
+    }
+}
+
+} // namespace
+
+std::vector<Chain>
+chainHits(std::vector<SeedHit> hits, ChainConfig config)
+{
+    std::vector<SeedHit> same, opposite;
+    for (const auto &hit : hits)
+        (hit.sameStrand ? same : opposite).push_back(hit);
+
+    std::vector<Chain> out;
+    chainStrand(same, true, config, out);
+    chainStrand(opposite, false, config, out);
+    std::sort(out.begin(), out.end(), [](const Chain &a, const Chain &b) {
+        return a.score > b.score;
+    });
+    return out;
+}
+
+} // namespace sf::align

@@ -1,0 +1,49 @@
+#ifndef SF_ALIGN_CHAIN_HPP
+#define SF_ALIGN_CHAIN_HPP
+
+/**
+ * @file
+ * Anchor chaining: collect colinear seed hits into candidate
+ * alignments (the minimap2 chaining stage, simplified to the O(n^2)
+ * DP, which is plenty for sub-100 kb viral references).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "align/index.hpp"
+
+namespace sf::align {
+
+/** A chained set of colinear anchors. */
+struct Chain
+{
+    std::vector<SeedHit> anchors; //!< in query order
+    double score = 0.0;           //!< chaining score (bases covered)
+    bool sameStrand = true;
+
+    std::uint32_t refStart = 0; //!< smallest anchored reference pos
+    std::uint32_t refEnd = 0;   //!< largest anchored reference pos
+    std::uint32_t queryStart = 0;
+    std::uint32_t queryEnd = 0;
+};
+
+/** Chaining parameters. */
+struct ChainConfig
+{
+    std::uint32_t maxGap = 600;   //!< max ref/query gap between anchors
+    std::uint32_t maxDiagDrift = 220; //!< max |refDelta - queryDelta|
+    double minScore = 40.0;       //!< discard chains below this
+    int kmerLength = 15;          //!< for scoring anchor coverage
+};
+
+/**
+ * Chain seed hits into candidate alignments, best first.  Hits are
+ * partitioned by strand agreement and chained independently.
+ */
+std::vector<Chain> chainHits(std::vector<SeedHit> hits,
+                             ChainConfig config = {});
+
+} // namespace sf::align
+
+#endif // SF_ALIGN_CHAIN_HPP

@@ -1,0 +1,173 @@
+#include "align/extend.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace sf::align {
+
+double
+Extension::identity() const
+{
+    const std::uint32_t columns = matches + edits;
+    return columns ? double(matches) / double(columns) : 0.0;
+}
+
+std::string
+cigarToString(const std::vector<CigarOp> &cigar)
+{
+    std::string out;
+    char buf[32];
+    for (const auto &op : cigar) {
+        std::snprintf(buf, sizeof(buf), "%u%c", op.len, op.op);
+        out += buf;
+    }
+    return out;
+}
+
+Extension
+bandedExtend(const std::vector<genome::Base> &query,
+             const std::vector<genome::Base> &ref_window,
+             std::uint32_t band)
+{
+    Extension result;
+    const std::size_t n = query.size();
+    const std::size_t m = ref_window.size();
+    if (n == 0 || m == 0)
+        return result;
+    if (band == 0)
+        fatal("bandedExtend requires a positive band");
+
+    // Band centre tracks the rectangle's main diagonal.
+    const double slope = double(m) / double(n);
+    const std::size_t width = 2 * band + 1;
+    constexpr std::uint32_t kInf =
+        std::numeric_limits<std::uint32_t>::max() / 4;
+
+    // cost[i][b] where column j = centre(i) - band + b.
+    std::vector<std::uint32_t> prev(width, kInf), cur(width, kInf);
+    // Traceback: 0 = diag, 1 = up (insertion in query), 2 = left
+    // (deletion from query's view), 3 = free start.
+    std::vector<std::uint8_t> trace(n * width, 3);
+
+    auto centre = [&](std::size_t i) {
+        return long(double(i) * slope);
+    };
+    auto colOf = [&](std::size_t i, std::size_t b) {
+        return centre(i) - long(band) + long(b);
+    };
+
+    // Row 0: free start anywhere in the band (reference-local).
+    for (std::size_t b = 0; b < width; ++b) {
+        const long j = colOf(0, b);
+        if (j < 0 || j >= long(m))
+            continue;
+        prev[b] = query[0] == ref_window[std::size_t(j)] ? 0 : 1;
+        trace[b] = 3;
+    }
+
+    for (std::size_t i = 1; i < n; ++i) {
+        const long shift = centre(i) - centre(i - 1);
+        std::fill(cur.begin(), cur.end(), kInf);
+        for (std::size_t b = 0; b < width; ++b) {
+            const long j = colOf(i, b);
+            if (j < 0 || j >= long(m))
+                continue;
+
+            // Map neighbours into the previous row's band frame.
+            auto prevAt = [&](long bb) -> std::uint32_t {
+                bb += shift;
+                return (bb >= 0 && bb < long(width))
+                           ? prev[std::size_t(bb)]
+                           : kInf;
+            };
+
+            const bool match = query[i] == ref_window[std::size_t(j)];
+            const std::uint32_t diag =
+                (j >= 1 ? prevAt(long(b) - 1) : kInf);
+            const std::uint32_t up = prevAt(long(b));
+            const std::uint32_t left =
+                (b >= 1 ? cur[b - 1] : kInf);
+
+            std::uint32_t best = diag == kInf
+                                     ? kInf
+                                     : diag + (match ? 0 : 1);
+            std::uint8_t dir = 0;
+            if (up != kInf && up + 1 < best) {
+                best = up + 1;
+                dir = 1;
+            }
+            if (left != kInf && left + 1 < best) {
+                best = left + 1;
+                dir = 2;
+            }
+            if (best >= kInf)
+                continue;
+            cur[b] = best;
+            trace[i * width + b] = dir;
+        }
+        prev.swap(cur);
+    }
+
+    // Free end: best cell in the last row.
+    std::size_t best_b = width;
+    std::uint32_t best_cost = kInf;
+    for (std::size_t b = 0; b < width; ++b) {
+        const long j = colOf(n - 1, b);
+        if (j < 0 || j >= long(m))
+            continue;
+        if (prev[b] < best_cost) {
+            best_cost = prev[b];
+            best_b = b;
+        }
+    }
+    if (best_b == width)
+        return result; // band never intersected the window
+
+    // Traceback.
+    std::vector<CigarOp> reversed;
+    auto push = [&](char op) {
+        if (!reversed.empty() && reversed.back().op == op)
+            ++reversed.back().len;
+        else
+            reversed.push_back({op, 1});
+    };
+
+    std::size_t i = n - 1;
+    std::size_t b = best_b;
+    long j = colOf(i, b);
+    result.refEnd = std::uint32_t(j + 1);
+    std::uint32_t matches = 0;
+    while (true) {
+        const std::uint8_t dir = trace[i * width + b];
+        if (dir == 0 || dir == 3) {
+            matches += query[i] == ref_window[std::size_t(j)] ? 1 : 0;
+            push('M');
+            if (dir == 3 || i == 0)
+                break;
+            const long shift = centre(i) - centre(i - 1);
+            b = std::size_t(long(b) - 1 + shift);
+            --i;
+            --j;
+        } else if (dir == 1) { // up: query base not in reference
+            push('I');
+            const long shift = centre(i) - centre(i - 1);
+            b = std::size_t(long(b) + shift);
+            --i;
+        } else { // left: reference base skipped
+            push('D');
+            --b;
+            --j;
+        }
+    }
+    result.refBegin = std::uint32_t(j);
+    result.valid = true;
+    result.matches = matches;
+    result.edits = best_cost;
+    result.cigar.assign(reversed.rbegin(), reversed.rend());
+    return result;
+}
+
+} // namespace sf::align

@@ -1,0 +1,62 @@
+#ifndef SF_ALIGN_EXTEND_HPP
+#define SF_ALIGN_EXTEND_HPP
+
+/**
+ * @file
+ * Banded base-level alignment with CIGAR output.
+ *
+ * After chaining fixes the approximate reference interval and strand,
+ * this stage computes the base-level alignment: a banded edit-distance
+ * DP, query-global / reference-local (the query must be consumed, the
+ * reference window may be entered and left freely), with traceback.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genome/base.hpp"
+
+namespace sf::align {
+
+/** One CIGAR operation. */
+struct CigarOp
+{
+    char op = 'M';          //!< 'M' (match/mismatch), 'I', 'D'
+    std::uint32_t len = 0;
+
+    bool operator==(const CigarOp &other) const = default;
+};
+
+/** Result of a banded extension. */
+struct Extension
+{
+    bool valid = false;
+    std::uint32_t refBegin = 0; //!< window-relative alignment start
+    std::uint32_t refEnd = 0;   //!< window-relative end (exclusive)
+    std::uint32_t matches = 0;  //!< exact base matches
+    std::uint32_t edits = 0;    //!< mismatches + insertions + deletions
+    std::vector<CigarOp> cigar; //!< query-consuming operations
+
+    /** Fraction of aligned columns that match exactly. */
+    double identity() const;
+};
+
+/** Render a CIGAR vector as the usual compact string (e.g. 53M2I8M). */
+std::string cigarToString(const std::vector<CigarOp> &cigar);
+
+/**
+ * Banded query-global, reference-local alignment.
+ *
+ * @param query bases to align (consumed fully)
+ * @param ref_window reference slice the query is expected to sit in
+ * @param band half-width of the diagonal band; the band is centred on
+ *        the main diagonal of the (query, window) rectangle
+ */
+Extension bandedExtend(const std::vector<genome::Base> &query,
+                       const std::vector<genome::Base> &ref_window,
+                       std::uint32_t band = 300);
+
+} // namespace sf::align
+
+#endif // SF_ALIGN_EXTEND_HPP

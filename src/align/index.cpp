@@ -1,0 +1,53 @@
+#include "align/index.hpp"
+
+#include "common/logging.hpp"
+
+namespace sf::align {
+
+MinimizerIndex::MinimizerIndex(const genome::Genome &reference,
+                               MinimizerConfig config,
+                               std::size_t max_occurrences)
+    : config_(config), referenceSize_(reference.size())
+{
+    if (reference.empty())
+        fatal("cannot index an empty reference");
+
+    for (const auto &minimizer :
+         extractMinimizers(reference.bases(), config_)) {
+        table_[minimizer.hash].push_back(
+            {minimizer.pos, minimizer.reverse});
+    }
+
+    // Mask repetitive seeds.
+    std::size_t masked = 0;
+    for (auto it = table_.begin(); it != table_.end();) {
+        if (it->second.size() > max_occurrences) {
+            it = table_.erase(it);
+            ++masked;
+        } else {
+            ++it;
+        }
+    }
+    if (masked > 0) {
+        debug("minimizer index masked %zu repetitive seeds", masked);
+    }
+}
+
+std::vector<SeedHit>
+MinimizerIndex::seedHits(
+    const std::vector<Minimizer> &query_minimizers) const
+{
+    std::vector<SeedHit> hits;
+    for (const auto &qm : query_minimizers) {
+        const auto it = table_.find(qm.hash);
+        if (it == table_.end())
+            continue;
+        for (const auto &entry : it->second) {
+            hits.push_back(
+                {entry.pos, qm.pos, entry.reverse == qm.reverse});
+        }
+    }
+    return hits;
+}
+
+} // namespace sf::align

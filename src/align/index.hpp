@@ -1,0 +1,67 @@
+#ifndef SF_ALIGN_INDEX_HPP
+#define SF_ALIGN_INDEX_HPP
+
+/**
+ * @file
+ * Minimizer index over a reference genome: hash -> positions, the
+ * lookup structure queries are seeded against.
+ */
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "align/minimizer.hpp"
+#include "genome/genome.hpp"
+
+namespace sf::align {
+
+/** One reference hit of a query minimizer. */
+struct SeedHit
+{
+    std::uint32_t refPos = 0;   //!< minimizer position on the reference
+    std::uint32_t queryPos = 0; //!< minimizer position on the query
+    bool sameStrand = true;     //!< strands of the two minimizers agree
+};
+
+/** Hash index of a reference genome's minimizers. */
+class MinimizerIndex
+{
+  public:
+    /**
+     * Index @p reference.  Minimizers occurring more than
+     * @p max_occurrences times are masked as repetitive (as minimap2
+     * masks high-frequency seeds).
+     */
+    MinimizerIndex(const genome::Genome &reference,
+                   MinimizerConfig config = {},
+                   std::size_t max_occurrences = 64);
+
+    /** Look up every hit for the query's minimizers. */
+    std::vector<SeedHit>
+    seedHits(const std::vector<Minimizer> &query_minimizers) const;
+
+    /** The scheme used to build this index. */
+    const MinimizerConfig &config() const { return config_; }
+
+    /** Number of distinct minimizer hashes stored. */
+    std::size_t distinctMinimizers() const { return table_.size(); }
+
+    /** Reference length in bases. */
+    std::size_t referenceSize() const { return referenceSize_; }
+
+  private:
+    struct Entry
+    {
+        std::uint32_t pos;
+        bool reverse;
+    };
+
+    std::unordered_map<std::uint64_t, std::vector<Entry>> table_;
+    MinimizerConfig config_;
+    std::size_t referenceSize_ = 0;
+};
+
+} // namespace sf::align
+
+#endif // SF_ALIGN_INDEX_HPP

@@ -1,0 +1,87 @@
+#include "align/minimizer.hpp"
+
+#include <deque>
+
+#include "common/logging.hpp"
+
+namespace sf::align {
+
+std::uint64_t
+hash64(std::uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::vector<Minimizer>
+extractMinimizers(const std::vector<genome::Base> &bases,
+                  MinimizerConfig config)
+{
+    if (config.k < 4 || config.k > 31)
+        fatal("minimizer k=%d out of [4, 31]", config.k);
+    if (config.w < 1)
+        fatal("minimizer w must be >= 1");
+
+    std::vector<Minimizer> out;
+    const std::size_t n = bases.size();
+    if (n < std::size_t(config.k))
+        return out;
+
+    const std::uint64_t mask =
+        config.k < 32 ? (1ULL << (2 * config.k)) - 1 : ~0ULL;
+    const int shift = 2 * (config.k - 1);
+
+    std::uint64_t fwd = 0, rev = 0;
+    // Monotonic deque of candidate (hash, pos, reverse) triples.
+    struct Candidate
+    {
+        std::uint64_t hash;
+        std::uint32_t pos;
+        bool reverse;
+    };
+    std::deque<Candidate> window;
+    std::uint32_t last_emitted_pos = ~0u;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto code = std::uint64_t(genome::baseCode(bases[i]));
+        fwd = ((fwd << 2) | code) & mask;
+        rev = (rev >> 2) | ((3ULL - code) << shift);
+        if (i + 1 < std::size_t(config.k))
+            continue;
+
+        const auto pos = std::uint32_t(i + 1 - std::size_t(config.k));
+        // Canonical hash: smaller of both strands; skip palindromes
+        // to avoid strand ambiguity (as minimap2 does).
+        Candidate cand{0, pos, false};
+        if (fwd == rev)
+            continue;
+        const std::uint64_t hf = hash64(fwd);
+        const std::uint64_t hr = hash64(rev);
+        cand.hash = hf < hr ? hf : hr;
+        cand.reverse = hr < hf;
+
+        while (!window.empty() && window.back().hash >= cand.hash)
+            window.pop_back();
+        window.push_back(cand);
+
+        // Evict candidates that slid out of the w-window.
+        const std::uint32_t window_start =
+            pos + 1 >= std::uint32_t(config.w)
+                ? pos + 1 - std::uint32_t(config.w)
+                : 0;
+        while (window.front().pos < window_start)
+            window.pop_front();
+
+        // Emit once the first full window is formed.
+        if (pos + 1 >= std::uint32_t(config.w) &&
+            window.front().pos != last_emitted_pos) {
+            last_emitted_pos = window.front().pos;
+            out.push_back({window.front().hash, window.front().pos,
+                           window.front().reverse});
+        }
+    }
+    return out;
+}
+
+} // namespace sf::align

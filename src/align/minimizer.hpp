@@ -1,0 +1,51 @@
+#ifndef SF_ALIGN_MINIMIZER_HPP
+#define SF_ALIGN_MINIMIZER_HPP
+
+/**
+ * @file
+ * Minimizer extraction (Li 2018-style).
+ *
+ * A (k, w) minimizer is the smallest hashed k-mer in every window of w
+ * consecutive k-mers.  Minimizers sample ~2/(w+1) of all positions
+ * while guaranteeing that two sequences sharing a long enough exact
+ * match share a minimizer — the seeding basis of the minimap2-lite
+ * aligner used by the basecall+align baseline.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "genome/base.hpp"
+
+namespace sf::align {
+
+/** One sampled minimizer. */
+struct Minimizer
+{
+    std::uint64_t hash = 0; //!< invertible hash of the packed k-mer
+    std::uint32_t pos = 0;  //!< start position in the sequence
+    bool reverse = false;   //!< canonical strand was the reverse one
+};
+
+/** Minimizer scheme parameters. */
+struct MinimizerConfig
+{
+    int k = 15; //!< k-mer length (<= 31)
+    int w = 10; //!< window length in k-mers
+};
+
+/** 64-bit invertible integer hash (SplitMix-style finaliser). */
+std::uint64_t hash64(std::uint64_t x);
+
+/**
+ * Extract canonical minimizers of @p bases.  Strand-canonical: each
+ * k-mer is represented by the lexicographically smaller hash of the
+ * forward and reverse-complement encodings, so reads map regardless
+ * of sequencing strand.
+ */
+std::vector<Minimizer> extractMinimizers(
+    const std::vector<genome::Base> &bases, MinimizerConfig config = {});
+
+} // namespace sf::align
+
+#endif // SF_ALIGN_MINIMIZER_HPP

@@ -1,0 +1,57 @@
+#include "assembly/assembler.hpp"
+
+#include "common/logging.hpp"
+
+namespace sf::assembly {
+
+ReferenceGuidedAssembler::ReferenceGuidedAssembler(
+    const genome::Genome &reference, const align::ReadAligner &aligner,
+    double target_coverage)
+    : reference_(reference), aligner_(aligner),
+      targetCoverage_(target_coverage), pileup_(reference.size())
+{
+    if (&aligner_.reference() != &reference_) {
+        warn("assembler reference and aligner reference differ; "
+             "coordinates assume they describe the same genome");
+    }
+    if (target_coverage <= 0.0)
+        fatal("target coverage must be positive");
+}
+
+bool
+ReferenceGuidedAssembler::addRead(const std::vector<genome::Base> &bases)
+{
+    const auto alignment = aligner_.map(bases);
+    if (!alignment.mapped) {
+        ++unmapped_;
+        return false;
+    }
+    pileup_.add(alignment);
+    return true;
+}
+
+bool
+ReferenceGuidedAssembler::coverageReached() const
+{
+    return pileup_.meanCoverage() >= targetCoverage_;
+}
+
+AssemblyStats
+ReferenceGuidedAssembler::stats() const
+{
+    AssemblyStats stats;
+    stats.readsAligned = pileup_.readsAdded();
+    stats.readsUnmapped = unmapped_;
+    stats.meanCoverage = pileup_.meanCoverage();
+    stats.fractionAt30x = pileup_.fractionCovered(30);
+    stats.minCoverage = pileup_.minCoverage();
+    return stats;
+}
+
+ConsensusResult
+ReferenceGuidedAssembler::assemble(ConsensusConfig config) const
+{
+    return callConsensus(pileup_, reference_, config);
+}
+
+} // namespace sf::assembly

@@ -1,0 +1,72 @@
+#ifndef SF_ASSEMBLY_ASSEMBLER_HPP
+#define SF_ASSEMBLY_ASSEMBLER_HPP
+
+/**
+ * @file
+ * Reference-guided assembler: streams mapped reads into a pileup
+ * until the target coverage (30x in the paper) is reached, then calls
+ * the consensus genome and its variants.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "align/aligner.hpp"
+#include "assembly/consensus.hpp"
+#include "assembly/pileup.hpp"
+#include "genome/genome.hpp"
+
+namespace sf::assembly {
+
+/** Assembly progress snapshot. */
+struct AssemblyStats
+{
+    std::size_t readsAligned = 0;
+    std::size_t readsUnmapped = 0;
+    double meanCoverage = 0.0;
+    double fractionAt30x = 0.0;
+    std::uint32_t minCoverage = 0;
+};
+
+/** Streaming reference-guided assembler. */
+class ReferenceGuidedAssembler
+{
+  public:
+    /**
+     * @param reference reference genome to assemble against
+     * @param aligner aligner indexed on the same reference
+     * @param target_coverage stop criterion for coverageReached()
+     */
+    ReferenceGuidedAssembler(const genome::Genome &reference,
+                             const align::ReadAligner &aligner,
+                             double target_coverage = 30.0);
+
+    /**
+     * Map and pile up one read.
+     * @retval true when the read mapped and was added
+     */
+    bool addRead(const std::vector<genome::Base> &bases);
+
+    /** True once mean coverage reaches the target. */
+    bool coverageReached() const;
+
+    /** Current progress snapshot. */
+    AssemblyStats stats() const;
+
+    /** Call consensus and variants on the accumulated pileup. */
+    ConsensusResult assemble(ConsensusConfig config = {}) const;
+
+    /** Underlying pileup (for inspection in tests and benches). */
+    const Pileup &pileup() const { return pileup_; }
+
+  private:
+    const genome::Genome &reference_;
+    const align::ReadAligner &aligner_;
+    double targetCoverage_;
+    Pileup pileup_;
+    std::size_t unmapped_ = 0;
+};
+
+} // namespace sf::assembly
+
+#endif // SF_ASSEMBLY_ASSEMBLER_HPP

@@ -1,0 +1,109 @@
+#include "assembly/consensus.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace sf::assembly {
+
+ConsensusResult
+callConsensus(const Pileup &pileup, const genome::Genome &reference,
+              ConsensusConfig config)
+{
+    if (pileup.size() != reference.size()) {
+        fatal("pileup size %zu does not match reference %zu",
+              pileup.size(), reference.size());
+    }
+
+    // Group recurrent insertions by anchor position.
+    struct InsertionCall
+    {
+        std::string sequence;
+        std::uint32_t count = 0;
+    };
+    std::vector<InsertionCall> insertion_at(reference.size());
+    for (const auto &[key, count] : pileup.insertions()) {
+        auto &slot = insertion_at[key.first];
+        if (count > slot.count)
+            slot = {key.second, count};
+    }
+
+    ConsensusResult result;
+    std::vector<genome::Base> consensus;
+    consensus.reserve(reference.size());
+
+    for (std::size_t pos = 0; pos < reference.size(); ++pos) {
+        const PileupColumn &col = pileup.column(pos);
+        const std::uint32_t cov = col.coverage();
+        const genome::Base ref_base = reference[pos];
+
+        if (cov < config.minCoverage) {
+            ++result.lowCoveragePositions;
+            consensus.push_back(ref_base);
+            continue;
+        }
+
+        // Winning allele among the four bases and deletion.
+        int best_code = -1; // -1 encodes deletion
+        std::uint32_t best_count = col.deletions;
+        for (int code = 0; code < genome::kNumBases; ++code) {
+            if (col.baseCount[code] > best_count) {
+                best_count = col.baseCount[code];
+                best_code = code;
+            }
+        }
+        const double fraction = double(best_count) / double(cov);
+
+        if (best_code < 0) {
+            // Deletion call.
+            if (fraction >= config.minIndelFraction) {
+                genome::Variant v;
+                v.type = genome::VariantType::Deletion;
+                v.position = pos;
+                v.ref = {ref_base};
+                result.variants.push_back(std::move(v));
+                // Deleted: emit nothing.
+            } else {
+                consensus.push_back(ref_base);
+            }
+        } else {
+            const auto called = static_cast<genome::Base>(best_code);
+            if (called != ref_base &&
+                fraction >= config.minAlleleFraction) {
+                genome::Variant v;
+                v.type = genome::VariantType::Substitution;
+                v.position = pos;
+                v.ref = {ref_base};
+                v.alt = {called};
+                result.variants.push_back(std::move(v));
+                consensus.push_back(called);
+            } else {
+                consensus.push_back(ref_base);
+            }
+        }
+
+        // Insertion after this column?
+        const auto &ins = insertion_at[pos];
+        if (ins.count > 0 &&
+            double(ins.count) / double(cov) >= config.minIndelFraction) {
+            genome::Variant v;
+            v.type = genome::VariantType::Insertion;
+            v.position = pos + 1;
+            v.alt = genome::stringToBases(ins.sequence);
+            for (genome::Base b : v.alt)
+                consensus.push_back(b);
+            result.variants.push_back(std::move(v));
+        }
+    }
+
+    result.consensus =
+        genome::Genome(reference.name() + "-consensus",
+                       std::move(consensus));
+    std::sort(result.variants.begin(), result.variants.end(),
+              [](const genome::Variant &a, const genome::Variant &b) {
+                  return a.position < b.position;
+              });
+    return result;
+}
+
+} // namespace sf::assembly

@@ -1,0 +1,43 @@
+#ifndef SF_ASSEMBLY_CONSENSUS_HPP
+#define SF_ASSEMBLY_CONSENSUS_HPP
+
+/**
+ * @file
+ * Pileup consensus and variant calling — the Racon+Medaka substitute
+ * (DESIGN.md §1).  Majority vote per column with coverage gating,
+ * indels called from deletion tallies and recurrent insertions, and a
+ * ground-truth-comparable variant list in reference coordinates.
+ */
+
+#include <vector>
+
+#include "assembly/pileup.hpp"
+#include "genome/genome.hpp"
+#include "genome/mutate.hpp"
+
+namespace sf::assembly {
+
+/** Variant-calling thresholds. */
+struct ConsensusConfig
+{
+    std::uint32_t minCoverage = 8;  //!< below this, keep the reference
+    double minAlleleFraction = 0.6; //!< majority needed to call
+    double minIndelFraction = 0.6;  //!< majority needed for an indel
+};
+
+/** Result of consensus calling. */
+struct ConsensusResult
+{
+    genome::Genome consensus;              //!< polished genome
+    std::vector<genome::Variant> variants; //!< vs the reference
+    std::size_t lowCoveragePositions = 0;  //!< columns left uncalled
+};
+
+/** Call the consensus of @p pileup against @p reference. */
+ConsensusResult callConsensus(const Pileup &pileup,
+                              const genome::Genome &reference,
+                              ConsensusConfig config = {});
+
+} // namespace sf::assembly
+
+#endif // SF_ASSEMBLY_CONSENSUS_HPP

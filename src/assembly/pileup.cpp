@@ -1,0 +1,108 @@
+#include "assembly/pileup.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace sf::assembly {
+
+Pileup::Pileup(std::size_t ref_size)
+    : columns_(ref_size)
+{
+    if (ref_size == 0)
+        fatal("pileup needs a non-empty reference");
+}
+
+void
+Pileup::add(const align::Alignment &alignment)
+{
+    if (!alignment.mapped)
+        fatal("cannot pile up an unmapped alignment");
+
+    std::size_t ref_pos = alignment.refStart;
+    std::size_t query_pos = 0;
+    const auto &query = alignment.alignedQuery;
+
+    for (const auto &op : alignment.cigar) {
+        switch (op.op) {
+          case 'M':
+            for (std::uint32_t x = 0; x < op.len; ++x) {
+                if (ref_pos >= columns_.size() ||
+                    query_pos >= query.size()) {
+                    fatal("CIGAR overruns reference or query "
+                          "(ref %zu/%zu, query %zu/%zu)",
+                          ref_pos, columns_.size(), query_pos,
+                          query.size());
+                }
+                ++columns_[ref_pos]
+                      .baseCount[genome::baseCode(query[query_pos])];
+                ++ref_pos;
+                ++query_pos;
+            }
+            break;
+          case 'I': {
+            // Inserted bases attach to the preceding reference column.
+            std::string inserted;
+            for (std::uint32_t x = 0; x < op.len; ++x) {
+                if (query_pos >= query.size())
+                    fatal("CIGAR insertion overruns query");
+                inserted += genome::baseToChar(query[query_pos++]);
+            }
+            const std::size_t anchor = ref_pos == 0 ? 0 : ref_pos - 1;
+            ++insertions_[{anchor, inserted}];
+            break;
+          }
+          case 'D':
+            for (std::uint32_t x = 0; x < op.len; ++x) {
+                if (ref_pos >= columns_.size())
+                    fatal("CIGAR deletion overruns reference");
+                ++columns_[ref_pos].deletions;
+                ++ref_pos;
+            }
+            break;
+          default:
+            fatal("unsupported CIGAR op '%c'", op.op);
+        }
+    }
+    ++readsAdded_;
+}
+
+const PileupColumn &
+Pileup::column(std::size_t pos) const
+{
+    if (pos >= columns_.size())
+        fatal("pileup position %zu out of range %zu", pos,
+              columns_.size());
+    return columns_[pos];
+}
+
+double
+Pileup::meanCoverage() const
+{
+    double total = 0.0;
+    for (const auto &col : columns_)
+        total += col.coverage();
+    return total / double(columns_.size());
+}
+
+double
+Pileup::fractionCovered(std::uint32_t depth) const
+{
+    std::size_t covered = 0;
+    for (const auto &col : columns_) {
+        if (col.coverage() >= depth)
+            ++covered;
+    }
+    return double(covered) / double(columns_.size());
+}
+
+std::uint32_t
+Pileup::minCoverage() const
+{
+    std::uint32_t min_cov = ~0u;
+    for (const auto &col : columns_)
+        min_cov = std::min(min_cov, col.coverage());
+    return min_cov;
+}
+
+} // namespace sf::assembly

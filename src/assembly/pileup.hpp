@@ -1,0 +1,85 @@
+#ifndef SF_ASSEMBLY_PILEUP_HPP
+#define SF_ASSEMBLY_PILEUP_HPP
+
+/**
+ * @file
+ * Reference pileup: per-position base/deletion tallies plus insertion
+ * observations, accumulated from read alignments.  The substrate of
+ * the Racon/Medaka-style consensus and variant calling stage (off the
+ * Read Until critical path, paper §3.1).
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "align/aligner.hpp"
+#include "genome/base.hpp"
+
+namespace sf::assembly {
+
+/** Tallies observed at one reference position. */
+struct PileupColumn
+{
+    std::uint32_t baseCount[genome::kNumBases] = {0, 0, 0, 0};
+    std::uint32_t deletions = 0; //!< reads skipping this position
+
+    /** Reads covering this column (bases + deletions). */
+    std::uint32_t
+    coverage() const
+    {
+        return baseCount[0] + baseCount[1] + baseCount[2] +
+               baseCount[3] + deletions;
+    }
+};
+
+/** Whole-reference pileup. */
+class Pileup
+{
+  public:
+    /** Create an empty pileup over a reference of @p ref_size bases. */
+    explicit Pileup(std::size_t ref_size);
+
+    /**
+     * Fold one mapped read into the pileup by walking its CIGAR
+     * against Alignment::alignedQuery.  Unmapped alignments are
+     * rejected with sf::FatalError.
+     */
+    void add(const align::Alignment &alignment);
+
+    /** Column tallies at @p pos. */
+    const PileupColumn &column(std::size_t pos) const;
+
+    /** Insertion observations keyed by (position, inserted string). */
+    const std::map<std::pair<std::size_t, std::string>, std::uint32_t> &
+    insertions() const
+    {
+        return insertions_;
+    }
+
+    /** Number of reads folded in. */
+    std::size_t readsAdded() const { return readsAdded_; }
+
+    /** Reference length. */
+    std::size_t size() const { return columns_.size(); }
+
+    /** Mean coverage across all positions. */
+    double meanCoverage() const;
+
+    /** Fraction of positions with coverage >= depth. */
+    double fractionCovered(std::uint32_t depth) const;
+
+    /** Smallest coverage over any position. */
+    std::uint32_t minCoverage() const;
+
+  private:
+    std::vector<PileupColumn> columns_;
+    std::map<std::pair<std::size_t, std::string>, std::uint32_t>
+        insertions_;
+    std::size_t readsAdded_ = 0;
+};
+
+} // namespace sf::assembly
+
+#endif // SF_ASSEMBLY_PILEUP_HPP

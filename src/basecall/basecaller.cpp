@@ -1,0 +1,49 @@
+#include "basecall/basecaller.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace sf::basecall {
+
+double
+basecallIdentity(const std::vector<genome::Base> &called,
+                 const std::vector<genome::Base> &truth)
+{
+    if (truth.empty())
+        return called.empty() ? 1.0 : 0.0;
+    if (called.empty())
+        return 0.0;
+
+    // Banded Levenshtein distance; the band grows with the length
+    // difference so global alignment stays feasible.
+    const std::size_t n = called.size();
+    const std::size_t m = truth.size();
+    const std::size_t band =
+        std::max<std::size_t>(32, 2 * (n > m ? n - m : m - n) + 32);
+
+    constexpr std::size_t kInf = 1u << 30;
+    std::vector<std::size_t> prev(m + 1, kInf), cur(m + 1, kInf);
+    for (std::size_t j = 0; j <= std::min(m, band); ++j)
+        prev[j] = j;
+
+    for (std::size_t i = 1; i <= n; ++i) {
+        const std::size_t lo = i > band ? i - band : 0;
+        const std::size_t hi = std::min(m, i + band);
+        std::fill(cur.begin(), cur.end(), kInf);
+        if (lo == 0)
+            cur[0] = i;
+        for (std::size_t j = std::max<std::size_t>(lo, 1); j <= hi; ++j) {
+            const std::size_t sub =
+                prev[j - 1] + (called[i - 1] == truth[j - 1] ? 0 : 1);
+            const std::size_t del = prev[j] + 1;
+            const std::size_t ins = cur[j - 1] + 1;
+            cur[j] = std::min({sub, del, ins});
+        }
+        prev.swap(cur);
+    }
+    const double edits = double(std::min(prev[m], kInf));
+    const double denom = double(std::max(n, m));
+    return std::max(0.0, 1.0 - edits / denom);
+}
+
+} // namespace sf::basecall

@@ -1,0 +1,55 @@
+#ifndef SF_BASECALL_BASECALLER_HPP
+#define SF_BASECALL_BASECALLER_HPP
+
+/**
+ * @file
+ * Basecaller interface.
+ *
+ * The baseline Read Until pipeline (paper §3.1, Figure 4) basecalls a
+ * read prefix with a DNN (Guppy) and aligns the bases with MiniMap2.
+ * Guppy itself is closed-source and GPU-bound, so this library offers
+ * two substitutes (see DESIGN.md §1): a genuine pore-model Viterbi
+ * decoder and a ground-truth oracle with controlled error injection.
+ * Their *computational* cost is modelled separately in perf_model.hpp
+ * using the paper's published constants.
+ */
+
+#include <vector>
+
+#include "genome/base.hpp"
+#include "signal/read.hpp"
+
+namespace sf::basecall {
+
+/** Abstract squiggle-to-bases decoder. */
+class Basecaller
+{
+  public:
+    virtual ~Basecaller() = default;
+
+    /**
+     * Decode the first @p prefix_samples raw samples of @p read into
+     * bases (all samples when the prefix exceeds the read).
+     */
+    virtual std::vector<genome::Base>
+    call(const signal::ReadRecord &read,
+         std::size_t prefix_samples) const = 0;
+
+    /** Decode the complete read. */
+    std::vector<genome::Base>
+    callAll(const signal::ReadRecord &read) const
+    {
+        return call(read, read.raw.size());
+    }
+};
+
+/**
+ * Base-level identity between a called sequence and the ground truth,
+ * computed with a banded edit-distance alignment: 1 - edits/length.
+ */
+double basecallIdentity(const std::vector<genome::Base> &called,
+                        const std::vector<genome::Base> &truth);
+
+} // namespace sf::basecall
+
+#endif // SF_BASECALL_BASECALLER_HPP

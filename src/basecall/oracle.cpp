@@ -1,0 +1,71 @@
+#include "basecall/oracle.hpp"
+
+#include "common/logging.hpp"
+#include "pore/kmer_model.hpp"
+
+namespace sf::basecall {
+
+ErrorProfile
+guppyHacProfile()
+{
+    return {0.025, 0.012, 0.013, 0x9acULL};
+}
+
+ErrorProfile
+guppyFastProfile()
+{
+    return {0.045, 0.017, 0.018, 0xfa57ULL};
+}
+
+OracleBasecaller::OracleBasecaller(ErrorProfile profile)
+    : profile_(profile)
+{
+    if (profile_.totalRate() >= 1.0)
+        fatal("oracle basecaller error rate %.2f must be < 1",
+              profile_.totalRate());
+}
+
+std::vector<genome::Base>
+OracleBasecaller::call(const signal::ReadRecord &read,
+                       std::size_t prefix_samples) const
+{
+    // How many bases were covered by the prefix: walk the dwells.
+    std::size_t windows = 0;
+    std::size_t samples = 0;
+    while (windows < read.dwells.size() && samples < prefix_samples) {
+        samples += read.dwells[windows];
+        ++windows;
+    }
+    // k-mer windows lag the base count by k-1.
+    const std::size_t bases_covered =
+        windows == 0 ? 0
+                     : std::min(read.bases.size(),
+                                windows + pore::KmerModel::kK - 1);
+
+    // Error stream must be deterministic per read.
+    Rng rng(profile_.seed ^ (read.id * 0x9e3779b97f4a7c15ULL));
+    std::vector<genome::Base> out;
+    out.reserve(bases_covered + 16);
+    for (std::size_t i = 0; i < bases_covered; ++i) {
+        const double u = rng.uniform();
+        const genome::Base truth = read.bases[i];
+        if (u < profile_.deletionRate)
+            continue; // skip the true base
+        if (u < profile_.deletionRate + profile_.insertionRate) {
+            out.push_back(
+                static_cast<genome::Base>(rng.uniformInt(0, 3)));
+            out.push_back(truth);
+            continue;
+        }
+        if (u < profile_.totalRate()) {
+            const auto shift = int(rng.uniformInt(1, 3));
+            out.push_back(static_cast<genome::Base>(
+                (genome::baseCode(truth) + shift) % genome::kNumBases));
+            continue;
+        }
+        out.push_back(truth);
+    }
+    return out;
+}
+
+} // namespace sf::basecall

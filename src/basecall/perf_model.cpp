@@ -1,0 +1,137 @@
+#include "basecall/perf_model.hpp"
+
+#include "common/logging.hpp"
+
+namespace sf::basecall {
+
+namespace {
+
+// Anchors published in the paper.
+constexpr double kGuppyOpsPerChunk = 2412e6;     // §4.8
+constexpr double kGuppyLiteOpsPerChunk = 141e6;  // §4.8
+constexpr double kGuppyWeights = 0.0;            // not published
+constexpr double kGuppyLiteWeights = 284e3;      // §4.8
+constexpr double kSdtwOps = 1400e6;              // §4.8
+constexpr double kSdtwMemoryBytes = 60e3;        // §4.8 (60k reference)
+
+// Read Until chunking slows basecalling relative to big batches (§6).
+constexpr double kLiteReadUntilPenalty = 4.05;
+constexpr double kHacReadUntilPenalty = 2.85;
+
+// Jetson Guppy-lite online throughput (§7.2): 95,700 bases/s, which
+// is 41.5% of the MinION's 230,400 bases/s maximum output.
+constexpr double kJetsonLiteRuBps = 95700.0;
+
+// The Titan XP "has barely enough basecalling throughput (with
+// Guppy-lite) to keep up with a MinION" (§3.2): model it at ~1.04x
+// the MinION maximum in online mode.
+constexpr double kTitanLiteRuBps = 240000.0;
+
+// Decision latencies measured on the Titan XP (§7.2 / Figure 16a).
+constexpr double kTitanLiteLatencyMs = 149.0;
+constexpr double kTitanHacLatencyMs = 1030.0;
+
+} // namespace
+
+BasecallerOps
+basecallerOps(BasecallerKind kind)
+{
+    if (kind == BasecallerKind::Guppy)
+        return {kGuppyOpsPerChunk, kGuppyWeights};
+    return {kGuppyLiteOpsPerChunk, kGuppyLiteWeights};
+}
+
+double
+sdtwOpsPerClassification()
+{
+    return kSdtwOps;
+}
+
+double
+sdtwMemoryFootprintBytes()
+{
+    return kSdtwMemoryBytes;
+}
+
+std::string
+toString(BasecallerKind kind)
+{
+    return kind == BasecallerKind::Guppy ? "Guppy" : "Guppy-lite";
+}
+
+std::string
+toString(Device device)
+{
+    return device == Device::TitanXp ? "Titan XP" : "Jetson Xavier";
+}
+
+BasecallerPerfModel::BasecallerPerfModel(BasecallerKind kind,
+                                         Device device)
+    : kind_(kind), device_(device)
+{
+}
+
+double
+BasecallerPerfModel::readUntilThroughputBasesPerSec() const
+{
+    const double lite_ru = device_ == Device::TitanXp ? kTitanLiteRuBps
+                                                      : kJetsonLiteRuBps;
+    if (kind_ == BasecallerKind::GuppyLite)
+        return lite_ru;
+    // The high-accuracy model costs ~17x the operations per chunk but
+    // suffers a smaller online-batching penalty.
+    return lite_ru * (kGuppyLiteOpsPerChunk / kGuppyOpsPerChunk) *
+           (kLiteReadUntilPenalty / kHacReadUntilPenalty);
+}
+
+double
+BasecallerPerfModel::batchThroughputBasesPerSec() const
+{
+    const double penalty = kind_ == BasecallerKind::GuppyLite
+                               ? kLiteReadUntilPenalty
+                               : kHacReadUntilPenalty;
+    return readUntilThroughputBasesPerSec() * penalty;
+}
+
+double
+BasecallerPerfModel::decisionLatencyMs() const
+{
+    const double titan_latency = kind_ == BasecallerKind::GuppyLite
+                                     ? kTitanLiteLatencyMs
+                                     : kTitanHacLatencyMs;
+    if (device_ == Device::TitanXp)
+        return titan_latency;
+    // Latency scales inversely with the device's online throughput.
+    const BasecallerPerfModel titan(kind_, Device::TitanXp);
+    return titan_latency * titan.readUntilThroughputBasesPerSec() /
+           readUntilThroughputBasesPerSec();
+}
+
+double
+BasecallerPerfModel::poreCoverage(double sequencer_bases_per_sec) const
+{
+    if (sequencer_bases_per_sec <= 0.0)
+        fatal("sequencer throughput must be positive");
+    const double coverage =
+        readUntilThroughputBasesPerSec() / sequencer_bases_per_sec;
+    return coverage > 1.0 ? 1.0 : coverage;
+}
+
+double
+BasecallerPerfModel::wastedBasesPerDecision() const
+{
+    return decisionLatencyMs() / 1e3 * kBasesPerSecond;
+}
+
+std::vector<BasecallerPerfModel>
+allBasecallerPerfModels()
+{
+    return {
+        {BasecallerKind::Guppy, Device::TitanXp},
+        {BasecallerKind::Guppy, Device::JetsonXavier},
+        {BasecallerKind::GuppyLite, Device::TitanXp},
+        {BasecallerKind::GuppyLite, Device::JetsonXavier},
+    };
+}
+
+} // namespace sf::basecall

@@ -1,0 +1,99 @@
+#ifndef SF_BASECALL_PERF_MODEL_HPP
+#define SF_BASECALL_PERF_MODEL_HPP
+
+/**
+ * @file
+ * Basecaller compute-performance model.
+ *
+ * Guppy cannot run in this environment, so its throughput and latency
+ * are modelled from the constants the paper publishes (§4.8, §6, §7.2):
+ * per-chunk operation counts, the 4.05x/2.85x online-vs-batch
+ * throughput penalty for Read Until chunking, the Jetson's measured
+ * 95,700 bases/s, and Guppy-lite's 149 ms classification latency.
+ * These constants anchor Figures 5, 16 and 21.
+ */
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sf::basecall {
+
+/** DNN basecaller variant (paper terminology). */
+enum class BasecallerKind {
+    Guppy,     //!< high-accuracy model (dna_r9.4.1_450bps_hac)
+    GuppyLite, //!< fast model (dna_r9.4.1_450bps_fast)
+};
+
+/** Compute device running the basecaller. */
+enum class Device {
+    TitanXp,      //!< 250 W server GPU (Table 3)
+    JetsonXavier, //!< 30 W edge GPU (Table 3)
+};
+
+/** Published per-model constants (paper §4.8). */
+struct BasecallerOps
+{
+    double opsPerChunk = 0.0;   //!< operations per 2000-sample chunk
+    double weightCount = 0.0;   //!< parameter footprint
+};
+
+/** Operation counts for a basecaller kind. */
+BasecallerOps basecallerOps(BasecallerKind kind);
+
+/** Operations needed by sDTW to classify one read (paper §4.8). */
+double sdtwOpsPerClassification();
+
+/** sDTW reference memory footprint in bytes for SARS-CoV-2 (§4.8). */
+double sdtwMemoryFootprintBytes();
+
+/** Human-readable names. */
+std::string toString(BasecallerKind kind);
+std::string toString(Device device);
+
+/** Modelled performance of a (basecaller, device) pair. */
+class BasecallerPerfModel
+{
+  public:
+    BasecallerPerfModel(BasecallerKind kind, Device device);
+
+    /**
+     * Sustained basecalling throughput in bases/second when running
+     * Read Until-style online chunks (small batches).
+     */
+    double readUntilThroughputBasesPerSec() const;
+
+    /** Sustained throughput in bases/second for offline batches. */
+    double batchThroughputBasesPerSec() const;
+
+    /** Read Until decision latency in milliseconds. */
+    double decisionLatencyMs() const;
+
+    /**
+     * Fraction of a sequencer's pores this basecaller can serve in
+     * real time (1.0 = keeps up with all pores).
+     * @param sequencer_bases_per_sec aggregate sequencer output
+     */
+    double poreCoverage(double sequencer_bases_per_sec) const;
+
+    /**
+     * Extra bases unnecessarily sequenced per ejected read while the
+     * classifier deliberates: latency x per-pore base rate.
+     */
+    double wastedBasesPerDecision() const;
+
+    BasecallerKind kind() const { return kind_; }
+    Device device() const { return device_; }
+
+  private:
+    BasecallerKind kind_;
+    Device device_;
+};
+
+/** All four (kind, device) combinations, for sweep-style benches. */
+std::vector<BasecallerPerfModel> allBasecallerPerfModels();
+
+} // namespace sf::basecall
+
+#endif // SF_BASECALL_PERF_MODEL_HPP

@@ -1,0 +1,251 @@
+#include "basecall/viterbi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+
+namespace sf::basecall {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+} // namespace
+
+ViterbiBasecaller::ViterbiBasecaller(const pore::KmerModel &model,
+                                     signal::Adc adc, ViterbiConfig config)
+    : model_(model), adc_(adc), config_(config),
+      detector_(config.events)
+{
+    if (config_.stayProb + config_.skipProb >= 1.0)
+        fatal("Viterbi stay+skip probability must be < 1");
+}
+
+std::vector<genome::Base>
+ViterbiBasecaller::call(const signal::ReadRecord &read,
+                        std::size_t prefix_samples) const
+{
+    const std::size_t len = std::min(prefix_samples, read.raw.size());
+    return callRaw(std::span<const RawSample>(read.raw.data(), len));
+}
+
+double
+ViterbiBasecaller::decodePass(const std::vector<double> &levels,
+                              const std::vector<double> &sigmas,
+                              std::vector<std::size_t> &path) const
+{
+    constexpr std::size_t num_states = pore::KmerModel::kNumKmers;
+    constexpr std::size_t k = pore::KmerModel::kK;
+
+    const double log_stay = std::log(config_.stayProb);
+    const double log_skip = std::log(config_.skipProb / 16.0);
+    const double log_adv =
+        std::log((1.0 - config_.stayProb - config_.skipProb) / 4.0);
+
+    auto emission = [&](std::size_t state, double level,
+                        double sigma) {
+        const double z = (level - double(model_.levelPa(state))) / sigma;
+        return -0.5 * z * z - std::log(sigma);
+    };
+
+    std::vector<double> prev(num_states), cur(num_states);
+    std::vector<std::vector<std::uint16_t>> back(
+        levels.size(), std::vector<std::uint16_t>(num_states));
+
+    for (std::size_t s = 0; s < num_states; ++s)
+        prev[s] = emission(s, levels[0], sigmas[0]);
+
+    for (std::size_t e = 1; e < levels.size(); ++e) {
+        auto &bp = back[e];
+        for (std::size_t s = 0; s < num_states; ++s) {
+            // Stay: same k-mer emitted another event.
+            double best = prev[s] + log_stay;
+            std::size_t best_from = s;
+
+            // Advance by one base: predecessors share a (k-1)-mer:
+            // s = (p << 2 | b) & mask  =>  p = s>>2 | (c << 2(k-1)).
+            const std::size_t base_pred = s >> 2;
+            for (std::size_t c = 0; c < 4; ++c) {
+                const std::size_t p = base_pred | (c << (2 * (k - 1)));
+                const double cand = prev[p] + log_adv;
+                if (cand > best) {
+                    best = cand;
+                    best_from = p;
+                }
+            }
+
+            // Skip: two bases advanced but one event observed.
+            const std::size_t skip_pred_base = s >> 4;
+            for (std::size_t c = 0; c < 16; ++c) {
+                const std::size_t p =
+                    skip_pred_base | (c << (2 * (k - 2)));
+                const double cand = prev[p] + log_skip;
+                if (cand > best) {
+                    best = cand;
+                    best_from = p;
+                }
+            }
+
+            cur[s] = best + emission(s, levels[e], sigmas[e]);
+            bp[s] = std::uint16_t(best_from);
+        }
+        prev.swap(cur);
+    }
+
+    std::size_t state = 0;
+    double best = kNegInf;
+    for (std::size_t s = 0; s < num_states; ++s) {
+        if (prev[s] > best) {
+            best = prev[s];
+            state = s;
+        }
+    }
+    path.resize(levels.size());
+    path.back() = state;
+    for (std::size_t e = levels.size(); e-- > 1;) {
+        state = back[e][state];
+        path[e - 1] = state;
+    }
+    return best;
+}
+
+std::vector<genome::Base>
+ViterbiBasecaller::callRaw(std::span<const RawSample> raw) const
+{
+    constexpr std::size_t k = pore::KmerModel::kK;
+    constexpr std::size_t mask = pore::KmerModel::kNumKmers - 1;
+
+    // 1. Segment into events.
+    std::vector<double> pa(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i)
+        pa[i] = adc_.toPa(raw[i]);
+    const auto events = detector_.detect(pa);
+    if (events.empty())
+        return {};
+
+    // 2. Initial normalisation: match the event-mean distribution to
+    // the model table.  Because consecutive k-mers share k-1 bases,
+    // the level sequence is strongly autocorrelated and the sample
+    // deviation misestimates the true scale by up to ~10% — far more
+    // than the sub-picoamp level spacing tolerates.  The scale is
+    // therefore refined below by likelihood search (step 3), the same
+    // reason real pipelines re-scale reads iteratively (Tombo's
+    // "re-squiggle", Nanocall's EM).
+    RunningStats stats;
+    for (const auto &event : events)
+        stats.add(event.meanPa);
+    const double spread = stats.stdev() > 1e-9 ? stats.stdev() : 1.0;
+    std::vector<double> base_levels(events.size());
+    for (std::size_t e = 0; e < events.size(); ++e) {
+        base_levels[e] = (events[e].meanPa - stats.mean()) / spread *
+                         double(model_.tableStdvPa());
+    }
+    const double table_mean = double(model_.tableMeanPa());
+
+    // Per-event emission spread: the mean of a short event is noisy,
+    // and events bordering a blurred transition carry extra error.
+    auto sigma_for = [&](double base_sigma) {
+        std::vector<double> out(events.size());
+        for (std::size_t e = 0; e < events.size(); ++e) {
+            const double n = double(events[e].length);
+            out[e] = std::max(base_sigma, 1.6 / std::sqrt(n) + 0.25);
+        }
+        return out;
+    };
+    const auto search_sigmas = sigma_for(config_.searchSigmaPa);
+    const auto final_sigmas = sigma_for(config_.finalSigmaPa);
+
+    auto apply_scale = [&](double scale, double offset) {
+        std::vector<double> out(base_levels.size());
+        for (std::size_t e = 0; e < base_levels.size(); ++e)
+            out[e] = table_mean + base_levels[e] * scale + offset;
+        return out;
+    };
+
+    // 3. Affine search by Viterbi likelihood on an event prefix.
+    // The likelihood must carry the change-of-variables Jacobian
+    // (+ n log scale), otherwise shrinking the data toward the table
+    // mean always "wins".  Scoring on a prefix keeps the 2D grid
+    // cheap; the final decode below uses every event.
+    const std::size_t score_events =
+        std::min<std::size_t>(events.size(), 120);
+    double best_scale = 1.0;
+    double best_offset = 0.0;
+    double best_ll = kNegInf;
+    for (double scale = 0.85; scale <= 1.16; scale += 0.03) {
+        for (double offset = -4.0; offset <= 4.01; offset += 1.0) {
+            auto trial = apply_scale(scale, offset);
+            trial.resize(score_events);
+            std::vector<std::size_t> trial_path;
+            const double ll =
+                decodePass(trial,
+                           {search_sigmas.begin(),
+                            search_sigmas.begin() + long(score_events)},
+                           trial_path) +
+                double(score_events) * std::log(scale);
+            if (ll > best_ll) {
+                best_ll = ll;
+                best_scale = scale;
+                best_offset = offset;
+            }
+        }
+    }
+
+    std::vector<std::size_t> path;
+    auto levels = apply_scale(best_scale, best_offset);
+    decodePass(levels, search_sigmas, path);
+
+    // 4. EM-style affine refinement: regress observed levels on the
+    // decoded path's model levels, then decode once more sharply.
+    for (int iter = 0; iter < 2; ++iter) {
+        double sx = 0.0, sy = 0.0, sxy = 0.0, sxx = 0.0;
+        const auto n = double(levels.size());
+        for (std::size_t e = 0; e < levels.size(); ++e) {
+            const double x = double(model_.levelPa(path[e]));
+            const double y = levels[e];
+            sx += x;
+            sy += y;
+            sxy += x * y;
+            sxx += x * x;
+        }
+        const double denom = n * sxx - sx * sx;
+        if (std::abs(denom) < 1e-9)
+            break;
+        const double slope = (n * sxy - sx * sy) / denom;
+        const double intercept = (sy - slope * sx) / n;
+        if (slope < 0.5 || slope > 2.0)
+            break;
+        for (auto &y : levels)
+            y = (y - intercept) / slope;
+        decodePass(levels, final_sigmas, path);
+    }
+
+    // 5. Emit bases: the first k-mer contributes k bases, every
+    // advance contributes its new suffix bases.  (True homopolymer
+    // repeats are indistinguishable from stays and fold together — a
+    // known limitation of event-HMM decoding.)
+    std::vector<genome::Base> bases;
+    bases.reserve(path.size() + k);
+    for (std::size_t i = k; i-- > 0;) {
+        bases.push_back(
+            static_cast<genome::Base>((path[0] >> (2 * i)) & 0x3));
+    }
+    for (std::size_t e = 1; e < path.size(); ++e) {
+        if (path[e] == path[e - 1])
+            continue;
+        if ((path[e] >> 2) == (path[e - 1] & (mask >> 2))) {
+            bases.push_back(static_cast<genome::Base>(path[e] & 0x3));
+        } else {
+            // Skip transition: two new bases.
+            bases.push_back(
+                static_cast<genome::Base>((path[e] >> 2) & 0x3));
+            bases.push_back(static_cast<genome::Base>(path[e] & 0x3));
+        }
+    }
+    return bases;
+}
+
+} // namespace sf::basecall

@@ -1,0 +1,83 @@
+#ifndef SF_BASECALL_VITERBI_HPP
+#define SF_BASECALL_VITERBI_HPP
+
+/**
+ * @file
+ * Pore-model Viterbi basecaller.
+ *
+ * A genuine decode path standing in for Guppy: the raw squiggle is
+ * segmented into events (one per k-mer step, ideally), event levels
+ * are normalised onto the pore-model scale, and the maximum-likelihood
+ * k-mer path is recovered with Viterbi over the 4096-state 6-mer HMM
+ * (stay / advance-1 / skip-1 transitions).  This is essentially how
+ * pre-DNN basecallers (Nanocall et al.) worked, and it exercises the
+ * full squiggle -> bases -> aligner baseline pipeline end to end.
+ */
+
+#include <span>
+
+#include "basecall/basecaller.hpp"
+#include "pore/kmer_model.hpp"
+#include "signal/adc.hpp"
+#include "signal/event.hpp"
+
+namespace sf::basecall {
+
+/** Transition log-probabilities of the k-mer HMM. */
+struct ViterbiConfig
+{
+    double stayProb = 0.06;  //!< event over-segmentation
+    double skipProb = 0.08;  //!< missed event (advance two bases)
+    double searchSigmaPa = 0.7; //!< emission spread, affine search
+    double finalSigmaPa = 0.55; //!< emission spread, refined pass
+    /**
+     * Segmentation parameters.  Basecalling wants sensitive
+     * segmentation (low threshold): missed events force skip
+     * transitions, which cost far more accuracy than the occasional
+     * split event the stay state absorbs.
+     */
+    signal::EventDetectorConfig events{6, 2.2, 3};
+};
+
+/** 6-mer HMM Viterbi decoder. */
+class ViterbiBasecaller : public Basecaller
+{
+  public:
+    /**
+     * @param model pore current model (emission means/stdvs)
+     * @param adc ADC used to convert raw codes to picoamps
+     * @param config HMM transition and segmentation parameters
+     */
+    ViterbiBasecaller(const pore::KmerModel &model, signal::Adc adc = {},
+                      ViterbiConfig config = {});
+
+    std::vector<genome::Base>
+    call(const signal::ReadRecord &read,
+         std::size_t prefix_samples) const override;
+
+    /**
+     * Decode a raw sample window directly (no ReadRecord needed) —
+     * the entry point used by the Read Until baseline pipeline.
+     */
+    std::vector<genome::Base>
+    callRaw(std::span<const RawSample> raw) const;
+
+  private:
+    /**
+     * One Viterbi pass over normalised event levels.
+     * @param[out] path maximum-likelihood k-mer state per event
+     * @return final path log-likelihood (up to a constant)
+     */
+    double decodePass(const std::vector<double> &levels,
+                      const std::vector<double> &sigmas,
+                      std::vector<std::size_t> &path) const;
+
+    const pore::KmerModel &model_;
+    signal::Adc adc_;
+    ViterbiConfig config_;
+    signal::EventDetector detector_;
+};
+
+} // namespace sf::basecall
+
+#endif // SF_BASECALL_VITERBI_HPP

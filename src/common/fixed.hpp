@@ -1,0 +1,68 @@
+#ifndef SF_COMMON_FIXED_HPP
+#define SF_COMMON_FIXED_HPP
+
+/**
+ * @file
+ * Fixed-point conversion helpers for the hardware datapath model.
+ *
+ * The SquiggleFilter normaliser (paper §5.3) emits 8-bit signed
+ * fixed-point samples constrained to the range [-4, 4).  We model this
+ * as Q2.5: one sign bit, two integer bits, five fractional bits, giving
+ * a resolution of 1/32 and a representable range of [-4, 3.96875].
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace sf {
+
+/** Fractional bits in the normalised-sample fixed-point format. */
+inline constexpr int kNormFracBits = 5;
+
+/** Scale factor 2^kNormFracBits between real values and codes. */
+inline constexpr int kNormScale = 1 << kNormFracBits;
+
+/** Real-valued clamp range of the normaliser output. */
+inline constexpr double kNormClamp = 4.0;
+
+/**
+ * Quantise a real normalised value into the Q2.5 NormSample grid,
+ * clamping outliers to the representable range (the hardware's outlier
+ * filter behaves the same way).
+ */
+inline NormSample
+quantizeNorm(double value)
+{
+    const double clamped = std::clamp(value, -kNormClamp, kNormClamp);
+    const auto code = static_cast<long>(std::lround(clamped * kNormScale));
+    return static_cast<NormSample>(std::clamp<long>(code, -128, 127));
+}
+
+/** Recover the real value represented by a Q2.5 code. */
+inline double
+dequantizeNorm(NormSample code)
+{
+    return static_cast<double>(code) / kNormScale;
+}
+
+/** Saturating add for hardware cost accumulators. */
+inline Cost
+satAdd(Cost a, Cost b)
+{
+    const Cost sum = a + b;
+    return sum < a ? kCostMax : sum;
+}
+
+/** Saturating subtract clamping at zero (match-bonus application). */
+inline Cost
+satSub(Cost a, Cost b)
+{
+    return a > b ? a - b : 0;
+}
+
+} // namespace sf
+
+#endif // SF_COMMON_FIXED_HPP

@@ -1,0 +1,102 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sf {
+
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+std::string
+vformat(const char *fmt, std::va_list args)
+{
+    std::va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed <= 0)
+        return {};
+    std::string out(static_cast<std::size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
+}
+
+void
+emit(const char *tag, const char *fmt, std::va_list args)
+{
+    const std::string body = vformat(fmt, args);
+    std::fprintf(stderr, "%s: %s\n", tag, body.c_str());
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Inform)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    emit("info", fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Warn)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    emit("warn", fmt, args);
+    va_end(args);
+}
+
+void
+debug(const char *fmt, ...)
+{
+    if (g_level < LogLevel::Debug)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    emit("debug", fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    const std::string body = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "fatal: %s\n", body.c_str());
+    throw FatalError(body);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    const std::string body = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "panic: %s\n", body.c_str());
+    std::abort();
+}
+
+} // namespace sf

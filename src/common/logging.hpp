@@ -1,0 +1,66 @@
+#ifndef SF_COMMON_LOGGING_HPP
+#define SF_COMMON_LOGGING_HPP
+
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * Four severities, mirroring gem5's logging conventions:
+ *  - inform(): normal operating message, no connotation of error;
+ *  - warn():   something may be modelled imperfectly but can continue;
+ *  - fatal():  the user asked for something impossible (bad config);
+ *              throws sf::FatalError so library callers can recover;
+ *  - panic():  an internal invariant was violated (a library bug);
+ *              aborts after printing.
+ */
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace sf {
+
+/** Exception thrown by fatal(): user-caused unrecoverable condition. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/** Verbosity knob: messages below this level are suppressed. */
+enum class LogLevel { Quiet = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/** Set the global verbosity (default LogLevel::Warn for tests/benches). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/** Print an informational message (printf formatting). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning message (printf formatting). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a debug message (printf formatting). */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a user-caused unrecoverable error and throw sf::FatalError.
+ * Use for invalid configuration or arguments, never for internal bugs.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation and abort.
+ * Use only for conditions that indicate a bug in this library.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace sf
+
+#endif // SF_COMMON_LOGGING_HPP

@@ -1,0 +1,228 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace sf {
+
+void
+RunningStats::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    if (n_ == 1) {
+        mean_ = x;
+        min_ = x;
+        max_ = x;
+        return;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStats::stdev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double x : xs)
+        total += x;
+    return total / double(xs.size());
+}
+
+double
+meanAbsoluteDeviation(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    const double mu = mean(xs);
+    double total = 0.0;
+    for (double x : xs)
+        total += std::abs(x - mu);
+    return total / double(xs.size());
+}
+
+double
+median(std::vector<double> xs)
+{
+    return percentile(std::move(xs), 50.0);
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    if (p < 0.0 || p > 100.0)
+        fatal("percentile p=%f out of [0,100]", p);
+    std::sort(xs.begin(), xs.end());
+    const double rank = p / 100.0 * double(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - double(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0 || !(hi > lo))
+        fatal("Histogram requires hi > lo and bins > 0");
+}
+
+void
+Histogram::add(double x)
+{
+    const double span = hi_ - lo_;
+    auto idx = static_cast<long>((x - lo_) / span * double(counts_.size()));
+    idx = std::clamp<long>(idx, 0, long(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::binLeft(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * double(i) / double(counts_.size());
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::size_t peak = 1;
+    for (auto c : counts_)
+        peak = std::max(peak, c);
+    std::string out;
+    char label[64];
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        std::snprintf(label, sizeof(label), "%12.1f |", binLeft(i));
+        out += label;
+        const auto bar = counts_[i] * width / peak;
+        out.append(bar, '#');
+        std::snprintf(label, sizeof(label), " %zu\n", counts_[i]);
+        out += label;
+    }
+    return out;
+}
+
+void
+ConfusionMatrix::add(bool is_target, bool kept)
+{
+    if (is_target)
+        kept ? ++tp : ++fn;
+    else
+        kept ? ++fp : ++tn;
+}
+
+double
+ConfusionMatrix::recall() const
+{
+    const auto denom = tp + fn;
+    return denom ? double(tp) / double(denom) : 0.0;
+}
+
+double
+ConfusionMatrix::precision() const
+{
+    const auto denom = tp + fp;
+    return denom ? double(tp) / double(denom) : 0.0;
+}
+
+double
+ConfusionMatrix::specificity() const
+{
+    const auto denom = tn + fp;
+    return denom ? double(tn) / double(denom) : 0.0;
+}
+
+double
+ConfusionMatrix::falsePositiveRate() const
+{
+    const auto denom = tn + fp;
+    return denom ? double(fp) / double(denom) : 0.0;
+}
+
+double
+ConfusionMatrix::accuracy() const
+{
+    const auto denom = tp + fp + tn + fn;
+    return denom ? double(tp + tn) / double(denom) : 0.0;
+}
+
+double
+ConfusionMatrix::f1() const
+{
+    const double p = precision();
+    const double r = recall();
+    return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+RocCurve::RocCurve(const std::vector<double> &target_scores,
+                   const std::vector<double> &decoy_scores,
+                   std::size_t steps)
+{
+    if (target_scores.empty() || decoy_scores.empty())
+        fatal("RocCurve requires non-empty score sets");
+    double lo = target_scores.front();
+    double hi = lo;
+    for (const auto *scores : {&target_scores, &decoy_scores}) {
+        for (double s : *scores) {
+            lo = std::min(lo, s);
+            hi = std::max(hi, s);
+        }
+    }
+    // Nudge the range so both degenerate extremes are swept.
+    const double pad = (hi - lo) * 1e-6 + 1e-9;
+    lo -= pad;
+    hi += pad;
+
+    points_.reserve(steps + 1);
+    for (std::size_t k = 0; k <= steps; ++k) {
+        const double thr = lo + (hi - lo) * double(k) / double(steps);
+        ConfusionMatrix cm;
+        for (double s : target_scores)
+            cm.add(true, s <= thr);
+        for (double s : decoy_scores)
+            cm.add(false, s <= thr);
+        points_.push_back({thr, cm.recall(), cm.falsePositiveRate(),
+                           cm.f1()});
+    }
+}
+
+double
+RocCurve::auc() const
+{
+    double area = 0.0;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        const double dx = points_[i].fpr - points_[i - 1].fpr;
+        area += dx * 0.5 * (points_[i].tpr + points_[i - 1].tpr);
+    }
+    return area;
+}
+
+RocPoint
+RocCurve::bestF1() const
+{
+    RocPoint best = points_.front();
+    for (const auto &pt : points_) {
+        if (pt.f1 > best.f1)
+            best = pt;
+    }
+    return best;
+}
+
+} // namespace sf

@@ -1,0 +1,157 @@
+#ifndef SF_COMMON_STATS_HPP
+#define SF_COMMON_STATS_HPP
+
+/**
+ * @file
+ * Descriptive statistics and binary-classification metrics.
+ *
+ * These utilities back every accuracy figure in the paper: the cost
+ * distributions of Figure 11, the ROC sweeps of Figure 17a, and the
+ * maximal F-scores of Figures 18 and 19.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sf {
+
+/** Single-pass accumulator for mean / variance / extrema (Welford). */
+class RunningStats
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void add(double x);
+
+    /** Number of observations folded in so far. */
+    std::size_t count() const { return n_; }
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Population variance (0 when fewer than two observations). */
+    double variance() const { return n_ > 1 ? m2_ / double(n_) : 0.0; }
+    /** Population standard deviation. */
+    double stdev() const;
+    /** Smallest observation (0 when empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+    /** Largest observation (0 when empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Arithmetic mean of a sample (0 when empty). */
+double mean(const std::vector<double> &xs);
+
+/** Mean absolute deviation about the mean, as used by the normaliser. */
+double meanAbsoluteDeviation(const std::vector<double> &xs);
+
+/** Median of a sample (0 when empty); does not modify the input. */
+double median(std::vector<double> xs);
+
+/** Linear-interpolated percentile, p in [0, 100]. */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Fixed-width histogram over [lo, hi) with uniform bins.
+ *
+ * Out-of-range observations are clamped into the first/last bin so
+ * that counts always total the number of observations.
+ */
+class Histogram
+{
+  public:
+    /** Build an empty histogram with @p bins uniform bins on [lo, hi). */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record one observation. */
+    void add(double x);
+
+    /** Count in bin @p i. */
+    std::size_t binCount(std::size_t i) const { return counts_.at(i); }
+    /** Left edge of bin @p i. */
+    double binLeft(std::size_t i) const;
+    /** Number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+    /** Total observations recorded. */
+    std::size_t total() const { return total_; }
+
+    /** Render a one-line-per-bin ASCII bar chart (for bench output). */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/** 2x2 confusion-matrix tallies for binary classification. */
+struct ConfusionMatrix
+{
+    std::size_t tp = 0; //!< target kept (correct)
+    std::size_t fp = 0; //!< non-target kept (wasted sequencing)
+    std::size_t tn = 0; //!< non-target ejected (correct)
+    std::size_t fn = 0; //!< target ejected (lost coverage)
+
+    /** Record one decision given ground truth and prediction. */
+    void add(bool is_target, bool kept);
+
+    double recall() const;    //!< TPR: fraction of targets kept
+    double precision() const; //!< fraction of kept reads that are targets
+    double specificity() const; //!< TNR: fraction of non-targets ejected
+    double falsePositiveRate() const; //!< 1 - specificity
+    double accuracy() const;  //!< overall fraction correct
+    double f1() const;        //!< harmonic mean of precision and recall
+};
+
+/** One operating point along a threshold sweep. */
+struct RocPoint
+{
+    double threshold = 0.0;
+    double tpr = 0.0;
+    double fpr = 0.0;
+    double f1 = 0.0;
+};
+
+/**
+ * Threshold sweep for a scalar score where *smaller is more likely
+ * target* (exactly the sDTW alignment-cost convention: a read is kept
+ * when cost <= threshold).
+ */
+class RocCurve
+{
+  public:
+    /**
+     * Build the curve from labelled scores.
+     * @param target_scores scores of true-target reads
+     * @param decoy_scores scores of non-target reads
+     * @param steps number of evenly spaced thresholds to evaluate
+     */
+    RocCurve(const std::vector<double> &target_scores,
+             const std::vector<double> &decoy_scores,
+             std::size_t steps = 200);
+
+    /** All evaluated operating points, ordered by threshold. */
+    const std::vector<RocPoint> &points() const { return points_; }
+
+    /** Area under the (FPR, TPR) curve via trapezoids. */
+    double auc() const;
+
+    /** Operating point with the highest F1 score. */
+    RocPoint bestF1() const;
+
+  private:
+    std::vector<RocPoint> points_;
+};
+
+} // namespace sf
+
+#endif // SF_COMMON_STATS_HPP

@@ -1,0 +1,116 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace sf {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("Table '%s' needs at least one column", title_.c_str());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        fatal("Table '%s': row has %zu cells, expected %zu",
+              title_.c_str(), cells.size(), headers_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+Table &
+Table::row(std::initializer_list<std::string> cells)
+{
+    addRow(std::vector<std::string>(cells));
+    return *this;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            line += ' ';
+            line += cells[c];
+            line.append(widths[c] - cells[c].size(), ' ');
+            line += " |";
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string rule = "+";
+    for (auto w : widths) {
+        rule.append(w + 2, '-');
+        rule += '+';
+    }
+    rule += '\n';
+
+    std::string out;
+    out += "== " + title_ + " ==\n";
+    out += rule;
+    out += renderRow(headers_);
+    out += rule;
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    out += rule;
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fputc('\n', stdout);
+}
+
+std::string
+fmt(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+    return buf;
+}
+
+std::string
+fmtInt(long long value)
+{
+    char digits[32];
+    std::snprintf(digits, sizeof(digits), "%lld", value < 0 ? -value : value);
+    std::string body(digits);
+    std::string out;
+    const std::size_t first = body.size() % 3 == 0 ? 3 : body.size() % 3;
+    for (std::size_t i = 0; i < body.size(); ++i) {
+        if (i != 0 && (i - first) % 3 == 0 && i >= first)
+            out += ',';
+        out += body[i];
+    }
+    if (value < 0)
+        out.insert(out.begin(), '-');
+    return out;
+}
+
+std::string
+fmtPct(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+} // namespace sf

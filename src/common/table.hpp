@@ -1,0 +1,58 @@
+#ifndef SF_COMMON_TABLE_HPP
+#define SF_COMMON_TABLE_HPP
+
+/**
+ * @file
+ * ASCII table rendering for benchmark / experiment output.
+ *
+ * Every bench binary regenerates a table or figure from the paper; this
+ * helper keeps their textual output consistent and aligned.
+ */
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace sf {
+
+/** Column-aligned ASCII table with a title and a header row. */
+class Table
+{
+  public:
+    /** Create a table titled @p title with the given column headers. */
+    Table(std::string title, std::vector<std::string> headers);
+
+    /** Append a data row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format heterogeneous cells via %g / strings. */
+    Table &row(std::initializer_list<std::string> cells);
+
+    /** Render the full table, title and rule lines included. */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Number of data rows so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits significant digits. */
+std::string fmt(double value, int digits = 4);
+
+/** Format an integer with thousands separators (1,234,567). */
+std::string fmtInt(long long value);
+
+/** Format a ratio as a percentage string, e.g. "96.2%". */
+std::string fmtPct(double fraction, int decimals = 1);
+
+} // namespace sf
+
+#endif // SF_COMMON_TABLE_HPP

@@ -1,0 +1,58 @@
+#ifndef SF_COMMON_TYPES_HPP
+#define SF_COMMON_TYPES_HPP
+
+/**
+ * @file
+ * Fundamental scalar types shared across the SquiggleFilter library.
+ *
+ * The MinION ADC digitises pore current into 10-bit unsigned samples;
+ * the hardware normaliser re-scales those into signed 8-bit fixed-point
+ * values (Q2.5, range [-4, 4)); the systolic array accumulates costs in
+ * saturating unsigned integers.  Keeping these types distinct makes the
+ * software model of the datapath self-documenting.
+ */
+
+#include <cstdint>
+#include <limits>
+
+namespace sf {
+
+/** Raw ADC output from the sequencer: 10 significant bits in uint16. */
+using RawSample = std::uint16_t;
+
+/** Normalised query/reference sample: signed 8-bit fixed point (Q2.5). */
+using NormSample = std::int8_t;
+
+/** Accumulated sDTW alignment cost (saturating in hardware). */
+using Cost = std::uint32_t;
+
+/** Sentinel for "no cost computed" / saturation ceiling. */
+inline constexpr Cost kCostMax = std::numeric_limits<Cost>::max();
+
+/** Number of ADC bits produced by the sequencer front end. */
+inline constexpr int kAdcBits = 10;
+
+/** Largest representable raw ADC code. */
+inline constexpr RawSample kAdcMax = (1u << kAdcBits) - 1;
+
+/** Samples captured per second per pore (MinION R9.4.1). */
+inline constexpr double kSampleRateHz = 4000.0;
+
+/** Average DNA translocation speed through the pore, bases/second. */
+inline constexpr double kBasesPerSecond = 450.0;
+
+/** Mean number of raw samples measured per base (~4000 / 450). */
+inline constexpr double kSamplesPerBase = kSampleRateHz / kBasesPerSecond;
+
+/** Channels (pores) on a MinION flow cell usable in parallel. */
+inline constexpr int kMinionChannels = 512;
+
+/** Maximum MinION output quoted in the paper, samples/second. */
+inline constexpr double kMinionMaxSamplesPerSec = 2.05e6;
+
+/** Maximum MinION output quoted in the paper, bases/second. */
+inline constexpr double kMinionMaxBasesPerSec = 230400.0;
+
+} // namespace sf
+
+#endif // SF_COMMON_TYPES_HPP

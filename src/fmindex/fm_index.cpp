@@ -1,0 +1,95 @@
+#include "fmindex/fm_index.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace sf::fmindex {
+
+FmIndex::FmIndex(const genome::Genome &genome,
+                 std::uint32_t occ_sample_rate)
+    : occRate_(occ_sample_rate)
+{
+    if (occ_sample_rate == 0)
+        fatal("occ sample rate must be positive");
+
+    const auto text = packText(genome);
+    suffixArray_ = buildSuffixArray(text);
+    bwt_ = buildBwt(text, suffixArray_);
+
+    // Cumulative counts: c_[s] = number of symbols < s in the text.
+    std::uint32_t counts[kAlphabet] = {};
+    for (std::uint8_t symbol : bwt_)
+        ++counts[symbol];
+    c_[0] = 0;
+    for (int s = 0; s < kAlphabet; ++s)
+        c_[s + 1] = c_[s] + counts[s];
+
+    // Occ checkpoints every occRate_ BWT positions.
+    const std::size_t checkpoints = bwt_.size() / occRate_ + 1;
+    occSamples_.assign(checkpoints * kAlphabet, 0);
+    std::uint32_t running[kAlphabet] = {};
+    for (std::size_t i = 0; i < bwt_.size(); ++i) {
+        if (i % occRate_ == 0) {
+            const std::size_t cp = i / occRate_;
+            for (int s = 0; s < kAlphabet; ++s)
+                occSamples_[cp * kAlphabet + std::size_t(s)] = running[s];
+        }
+        ++running[bwt_[i]];
+    }
+}
+
+std::uint32_t
+FmIndex::occ(std::uint8_t symbol, std::uint32_t pos) const
+{
+    // Occurrences of symbol in bwt_[0, pos).
+    const std::uint32_t cp = pos / occRate_;
+    std::uint32_t count =
+        occSamples_[std::size_t(cp) * kAlphabet + symbol];
+    for (std::uint32_t i = cp * occRate_; i < pos; ++i)
+        count += bwt_[i] == symbol;
+    return count;
+}
+
+SaInterval
+FmIndex::fullRange() const
+{
+    return {0, std::uint32_t(bwt_.size())};
+}
+
+SaInterval
+FmIndex::extend(SaInterval range, genome::Base base) const
+{
+    if (range.empty())
+        return {0, 0};
+    const auto symbol = std::uint8_t(genome::baseCode(base) + 1);
+    const std::uint32_t lo = c_[symbol] + occ(symbol, range.lo);
+    const std::uint32_t hi = c_[symbol] + occ(symbol, range.hi);
+    return {lo, hi};
+}
+
+SaInterval
+FmIndex::locateRange(const std::vector<genome::Base> &pattern) const
+{
+    SaInterval range = fullRange();
+    for (auto it = pattern.rbegin(); it != pattern.rend(); ++it) {
+        range = extend(range, *it);
+        if (range.empty())
+            return {0, 0};
+    }
+    return range;
+}
+
+std::vector<std::uint32_t>
+FmIndex::positions(SaInterval range, std::size_t limit) const
+{
+    std::vector<std::uint32_t> out;
+    const std::size_t count = std::min<std::size_t>(range.count(), limit);
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(suffixArray_[range.lo + i]);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace sf::fmindex

@@ -1,0 +1,76 @@
+#ifndef SF_FMINDEX_FM_INDEX_HPP
+#define SF_FMINDEX_FM_INDEX_HPP
+
+/**
+ * @file
+ * FM-index: backward search over the BWT with sampled occurrence
+ * counts — the lookup structure UNCALLED (paper §8) uses to map
+ * segmented events to the reference without basecalling.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "fmindex/suffix_array.hpp"
+#include "genome/genome.hpp"
+
+namespace sf::fmindex {
+
+/** Half-open suffix-array interval of pattern occurrences. */
+struct SaInterval
+{
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0; //!< exclusive
+
+    std::uint32_t count() const { return hi > lo ? hi - lo : 0; }
+    bool empty() const { return hi <= lo; }
+};
+
+/** FM-index over one genome. */
+class FmIndex
+{
+  public:
+    /** Build from a genome (suffix array + BWT + occ checkpoints). */
+    explicit FmIndex(const genome::Genome &genome,
+                     std::uint32_t occ_sample_rate = 64);
+
+    /** Full-range interval (every suffix). */
+    SaInterval fullRange() const;
+
+    /**
+     * One backward-search step: restrict @p range to suffixes
+     * preceded by @p base.
+     */
+    SaInterval extend(SaInterval range, genome::Base base) const;
+
+    /** Interval of exact occurrences of @p pattern (empty if none). */
+    SaInterval locateRange(const std::vector<genome::Base> &pattern) const;
+
+    /** Text positions within @p range (at most @p limit, sorted). */
+    std::vector<std::uint32_t>
+    positions(SaInterval range, std::size_t limit = 256) const;
+
+    /** Count of exact occurrences of @p pattern. */
+    std::uint32_t
+    count(const std::vector<genome::Base> &pattern) const
+    {
+        return locateRange(pattern).count();
+    }
+
+    /** Indexed text length (genome size + sentinel). */
+    std::size_t size() const { return bwt_.size(); }
+
+  private:
+    std::uint32_t occ(std::uint8_t symbol, std::uint32_t pos) const;
+
+    std::vector<std::uint8_t> bwt_;
+    std::vector<std::uint32_t> suffixArray_;
+    std::uint32_t c_[kAlphabet + 1] = {}; //!< cumulative symbol counts
+    std::uint32_t occRate_;
+    /** occ checkpoints: checkpoint c, symbol s -> count. */
+    std::vector<std::uint32_t> occSamples_;
+};
+
+} // namespace sf::fmindex
+
+#endif // SF_FMINDEX_FM_INDEX_HPP

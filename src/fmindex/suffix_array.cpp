@@ -1,0 +1,75 @@
+#include "fmindex/suffix_array.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace sf::fmindex {
+
+std::vector<std::uint8_t>
+packText(const genome::Genome &genome)
+{
+    if (genome.empty())
+        fatal("cannot index an empty genome");
+    std::vector<std::uint8_t> text;
+    text.reserve(genome.size() + 1);
+    for (genome::Base b : genome.bases())
+        text.push_back(std::uint8_t(genome::baseCode(b) + 1));
+    text.push_back(0); // sentinel
+    return text;
+}
+
+std::vector<std::uint32_t>
+buildSuffixArray(const std::vector<std::uint8_t> &text)
+{
+    const std::size_t n = text.size();
+    if (n == 0)
+        fatal("cannot build a suffix array of empty text");
+    if (text.back() != 0)
+        fatal("text must end with the sentinel 0");
+
+    std::vector<std::uint32_t> sa(n), rank(n), tmp(n);
+    std::iota(sa.begin(), sa.end(), 0);
+    for (std::size_t i = 0; i < n; ++i)
+        rank[i] = text[i];
+
+    for (std::size_t step = 1;; step *= 2) {
+        auto key = [&](std::uint32_t i) {
+            const std::uint32_t second =
+                i + step < n ? rank[i + step] + 1 : 0;
+            return std::pair<std::uint32_t, std::uint32_t>(rank[i],
+                                                           second);
+        };
+        std::sort(sa.begin(), sa.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                      return key(a) < key(b);
+                  });
+        tmp[sa[0]] = 0;
+        for (std::size_t i = 1; i < n; ++i) {
+            tmp[sa[i]] =
+                tmp[sa[i - 1]] + (key(sa[i - 1]) < key(sa[i]) ? 1 : 0);
+        }
+        rank.swap(tmp);
+        if (rank[sa[n - 1]] == n - 1)
+            break;
+    }
+    return sa;
+}
+
+std::vector<std::uint8_t>
+buildBwt(const std::vector<std::uint8_t> &text,
+         const std::vector<std::uint32_t> &suffix_array)
+{
+    const std::size_t n = text.size();
+    if (suffix_array.size() != n)
+        fatal("suffix array size mismatch");
+    std::vector<std::uint8_t> bwt(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t pos = suffix_array[i];
+        bwt[i] = pos == 0 ? text[n - 1] : text[pos - 1];
+    }
+    return bwt;
+}
+
+} // namespace sf::fmindex

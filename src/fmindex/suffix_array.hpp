@@ -1,0 +1,41 @@
+#ifndef SF_FMINDEX_SUFFIX_ARRAY_HPP
+#define SF_FMINDEX_SUFFIX_ARRAY_HPP
+
+/**
+ * @file
+ * Suffix array and Burrows-Wheeler transform over 2-bit genomes.
+ *
+ * Construction uses prefix-doubling (O(n log^2 n)), ample for the
+ * sub-100 kb viral references this library targets.  The terminating
+ * sentinel is represented implicitly: text symbols are shifted up by
+ * one so rank 0 is reserved for the sentinel.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "genome/genome.hpp"
+
+namespace sf::fmindex {
+
+/** Alphabet size including the sentinel (0). */
+inline constexpr int kAlphabet = 5;
+
+/** Sentinel-terminated text: values in [0, 4], 0 only at the end. */
+std::vector<std::uint8_t> packText(const genome::Genome &genome);
+
+/**
+ * Suffix array of @p text (which must end with the unique smallest
+ * sentinel 0).  Output length equals the text length.
+ */
+std::vector<std::uint32_t>
+buildSuffixArray(const std::vector<std::uint8_t> &text);
+
+/** BWT of @p text given its suffix array. */
+std::vector<std::uint8_t>
+buildBwt(const std::vector<std::uint8_t> &text,
+         const std::vector<std::uint32_t> &suffix_array);
+
+} // namespace sf::fmindex
+
+#endif // SF_FMINDEX_SUFFIX_ARRAY_HPP

@@ -1,0 +1,274 @@
+#include "fmindex/uncalled.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+
+namespace sf::fmindex {
+
+UncalledClassifier::UncalledClassifier(const genome::Genome &target,
+                                       const pore::KmerModel &model,
+                                       signal::Adc adc,
+                                       UncalledConfig config)
+    : model_(model), adc_(adc), config_(config),
+      detector_(config.events), index_(target)
+{
+    if (config_.seedLength < 6 || config_.seedLength > 24)
+        fatal("uncalled seed length %zu out of [6, 24]",
+              config_.seedLength);
+    if (config_.seedStride == 0)
+        fatal("uncalled seed stride must be positive");
+}
+
+std::vector<genome::Base>
+UncalledClassifier::decodeLevels(const std::vector<double> &levels,
+                                 std::vector<std::size_t> &path) const
+{
+    std::vector<genome::Base> bases;
+    path.clear();
+    if (levels.empty())
+        return bases;
+
+    // Beam decode: a purely greedy walk cannot recover from a wrong
+    // k-mer (its successors constrain every later choice), so keep a
+    // small beam of hypotheses — the cheap cousin of UNCALLED's
+    // probabilistic event-to-k-mer matching.
+    constexpr std::size_t kBeam = 16;
+    struct Hypothesis
+    {
+        std::uint16_t kmer = 0;
+        float score = 0.0f; //!< accumulated |level - model| distance
+        std::int16_t parent = -1;
+        bool advanced = false;
+    };
+
+    std::vector<std::vector<Hypothesis>> layers(levels.size());
+
+    // Seed the beam with the best-matching k-mers for event 0.
+    {
+        std::vector<std::pair<float, std::uint16_t>> scored;
+        scored.reserve(pore::KmerModel::kNumKmers);
+        for (std::size_t s = 0; s < pore::KmerModel::kNumKmers; ++s) {
+            scored.emplace_back(
+                float(std::abs(levels[0] - double(model_.levelPa(s)))),
+                std::uint16_t(s));
+        }
+        std::partial_sort(scored.begin(), scored.begin() + kBeam,
+                          scored.end());
+        for (std::size_t b = 0; b < kBeam; ++b)
+            layers[0].push_back({scored[b].second, scored[b].first,
+                                 -1, false});
+    }
+
+    for (std::size_t e = 1; e < levels.size(); ++e) {
+        const double level = levels[e];
+        // kmer -> best candidate this layer.
+        std::vector<Hypothesis> candidates;
+        candidates.reserve(layers[e - 1].size() * 5);
+        for (std::size_t i = 0; i < layers[e - 1].size(); ++i) {
+            const auto &prev = layers[e - 1][i];
+            const double stay =
+                std::abs(level - double(model_.levelPa(prev.kmer))) +
+                config_.stayPenaltyPa;
+            candidates.push_back({prev.kmer,
+                                  prev.score + float(stay),
+                                  std::int16_t(i), false});
+            for (std::size_t c = 0; c < 4; ++c) {
+                const auto next = std::uint16_t(pore::KmerModel::rollKmer(
+                    prev.kmer, static_cast<genome::Base>(c)));
+                const double adv =
+                    std::abs(level - double(model_.levelPa(next)));
+                candidates.push_back({next, prev.score + float(adv),
+                                      std::int16_t(i), true});
+            }
+        }
+        // Deduplicate by k-mer (keep the best score), then keep the
+        // top kBeam hypotheses.
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const Hypothesis &a, const Hypothesis &b) {
+                      if (a.kmer != b.kmer)
+                          return a.kmer < b.kmer;
+                      return a.score < b.score;
+                  });
+        std::vector<Hypothesis> unique;
+        for (const auto &cand : candidates) {
+            if (unique.empty() || unique.back().kmer != cand.kmer)
+                unique.push_back(cand);
+        }
+        std::sort(unique.begin(), unique.end(),
+                  [](const Hypothesis &a, const Hypothesis &b) {
+                      return a.score < b.score;
+                  });
+        if (unique.size() > kBeam)
+            unique.resize(kBeam);
+        layers[e] = std::move(unique);
+    }
+
+    // Traceback from the best final hypothesis.
+    std::size_t idx = 0;
+    for (std::size_t i = 1; i < layers.back().size(); ++i) {
+        if (layers.back()[i].score < layers.back()[idx].score)
+            idx = i;
+    }
+    std::vector<const Hypothesis *> chain(levels.size());
+    for (std::size_t e = levels.size(); e-- > 0;) {
+        chain[e] = &layers[e][idx];
+        idx = std::size_t(std::max<std::int16_t>(chain[e]->parent, 0));
+    }
+
+    path.resize(levels.size());
+    for (std::size_t i = pore::KmerModel::kK; i-- > 0;) {
+        bases.push_back(static_cast<genome::Base>(
+            (chain[0]->kmer >> (2 * i)) & 3));
+    }
+    path[0] = chain[0]->kmer;
+    for (std::size_t e = 1; e < levels.size(); ++e) {
+        path[e] = chain[e]->kmer;
+        if (chain[e]->advanced) {
+            bases.push_back(
+                static_cast<genome::Base>(chain[e]->kmer & 3));
+        }
+    }
+    return bases;
+}
+
+std::vector<genome::Base>
+UncalledClassifier::greedyDecode(
+    const std::vector<signal::Event> &events) const
+{
+    if (events.empty())
+        return {};
+
+    // Initial normalisation to the model scale.  As with the Viterbi
+    // basecaller, the autocorrelated 6-mer level sequence makes the
+    // sample deviation a poor scale estimator, so one affine
+    // refinement pass (regress observed levels on the decoded path's
+    // model levels, then re-decode) recovers most of the lost
+    // accuracy at negligible cost.
+    RunningStats stats;
+    for (const auto &event : events)
+        stats.add(event.meanPa);
+    const double spread = stats.stdev() > 1e-9 ? stats.stdev() : 1.0;
+    std::vector<double> levels(events.size());
+    for (std::size_t e = 0; e < events.size(); ++e) {
+        const double z = (events[e].meanPa - stats.mean()) / spread;
+        levels[e] = double(model_.tableMeanPa()) +
+                    z * double(model_.tableStdvPa());
+    }
+
+    std::vector<std::size_t> path;
+    auto bases = decodeLevels(levels, path);
+    for (int iter = 0; iter < 2; ++iter) {
+        double sx = 0.0, sy = 0.0, sxy = 0.0, sxx = 0.0;
+        const auto n = double(levels.size());
+        for (std::size_t e = 0; e < levels.size(); ++e) {
+            const double x = double(model_.levelPa(path[e]));
+            const double y = levels[e];
+            sx += x;
+            sy += y;
+            sxy += x * y;
+            sxx += x * x;
+        }
+        const double denom = n * sxx - sx * sx;
+        if (std::abs(denom) < 1e-9)
+            break;
+        const double slope = (n * sxy - sx * sy) / denom;
+        const double intercept = (sy - slope * sx) / n;
+        if (slope < 0.5 || slope > 2.0)
+            break;
+        for (auto &y : levels)
+            y = (y - intercept) / slope;
+        bases = decodeLevels(levels, path);
+    }
+    return bases;
+}
+
+UncalledResult
+UncalledClassifier::classify(std::span<const RawSample> raw) const
+{
+    UncalledResult result;
+    std::vector<double> pa(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i)
+        pa[i] = adc_.toPa(raw[i]);
+    const auto events = detector_.detect(pa);
+    result.eventCount = events.size();
+    if (events.size() < config_.seedLength)
+        return result;
+
+    const auto decoded = greedyDecode(events);
+    if (decoded.size() < config_.seedLength)
+        return result;
+
+    // Seed-and-cluster, both strands.  Diagonals: refPos - queryPos
+    // (forward) or refPos + queryPos (reverse complement).
+    using SeedPoint = std::pair<long, long>; // (diagonal, query pos)
+    std::vector<SeedPoint> fwd_points, rev_points;
+    const std::size_t L = config_.seedLength;
+    for (std::size_t q = 0; q + L <= decoded.size();
+         q += config_.seedStride) {
+        ++result.seedsTried;
+        const std::vector<genome::Base> seed(decoded.begin() + long(q),
+                                             decoded.begin() +
+                                                 long(q + L));
+        const auto fwd_range = index_.locateRange(seed);
+        if (fwd_range.count() <= config_.maxHitsPerSeed) {
+            for (auto pos : index_.positions(fwd_range)) {
+                fwd_points.push_back({long(pos) - long(q), long(q)});
+                ++result.seedHits;
+            }
+        }
+        const auto rc = genome::reverseComplement(seed);
+        const auto rev_range = index_.locateRange(rc);
+        if (rev_range.count() <= config_.maxHitsPerSeed) {
+            for (auto pos : index_.positions(rev_range)) {
+                rev_points.push_back({long(pos) + long(q), long(q)});
+                ++result.seedHits;
+            }
+        }
+    }
+
+    // Largest diagonal cluster, counting only *independent* seeds:
+    // overlapping seeds (stride < L) produce correlated same-diagonal
+    // runs from a single chance hit, so seeds closer than L/2 query
+    // positions contribute one unit of evidence.
+    auto largest_cluster = [&](std::vector<SeedPoint> &points) {
+        if (points.empty())
+            return std::size_t(0);
+        std::sort(points.begin(), points.end());
+        const long min_gap = 2;
+        std::size_t best = 0;
+        std::size_t lo = 0;
+        std::vector<long> qs;
+        for (std::size_t hi = 0; hi < points.size(); ++hi) {
+            while (points[hi].first - points[lo].first >
+                   long(config_.diagTolerance)) {
+                ++lo;
+            }
+            qs.clear();
+            for (std::size_t i = lo; i <= hi; ++i)
+                qs.push_back(points[i].second);
+            std::sort(qs.begin(), qs.end());
+            std::size_t independent = 0;
+            long last = -(min_gap + 1);
+            for (long q : qs) {
+                if (q - last >= min_gap) {
+                    ++independent;
+                    last = q;
+                }
+            }
+            best = std::max(best, independent);
+        }
+        return best;
+    };
+
+    const std::size_t fwd_best = largest_cluster(fwd_points);
+    const std::size_t rev_best = largest_cluster(rev_points);
+    result.bestClusterSeeds = std::max(fwd_best, rev_best);
+    result.reverseStrand = rev_best > fwd_best;
+    result.mapped = result.bestClusterSeeds >= config_.minClusterSeeds;
+    return result;
+}
+
+} // namespace sf::fmindex

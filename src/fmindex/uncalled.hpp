@@ -1,0 +1,92 @@
+#ifndef SF_FMINDEX_UNCALLED_HPP
+#define SF_FMINDEX_UNCALLED_HPP
+
+/**
+ * @file
+ * UNCALLED-style raw-signal mapper (paper §8, Kovaka et al. 2020).
+ *
+ * The related-work baseline SquiggleFilter is compared against: skip
+ * basecalling by (1) segmenting the squiggle into events, (2) greedily
+ * decoding events to a noisy base stream with the pore model, (3)
+ * exact-matching short seeds through an FM-index of the target genome,
+ * and (4) clustering seed hits by diagonal.  A read "maps" when a
+ * sufficiently large colinear cluster exists.  The paper's observation
+ * that UNCALLED leaves a substantial fraction of short prefixes
+ * unaligned falls out of the seed-hit statistics.
+ */
+
+#include <cstdint>
+#include <span>
+
+#include "fmindex/fm_index.hpp"
+#include "pore/kmer_model.hpp"
+#include "signal/adc.hpp"
+#include "signal/event.hpp"
+
+namespace sf::fmindex {
+
+/** Tuning parameters of the event seed mapper. */
+struct UncalledConfig
+{
+    std::size_t seedLength = 10;   //!< bases per exact-match seed
+    std::size_t seedStride = 1;    //!< bases between seed attempts
+    std::size_t minClusterSeeds = 3; //!< independent colinear seeds
+    std::uint32_t diagTolerance = 24; //!< diagonal clustering width
+    /** Seeds with more reference hits than this are repetitive and
+     *  skipped (minimap2-style masking). */
+    std::uint32_t maxHitsPerSeed = 6;
+    double stayPenaltyPa = 1.2;    //!< greedy decode stay bias
+    /** Sensitive segmentation: missed events break seed chains. */
+    signal::EventDetectorConfig events{6, 2.2, 3};
+};
+
+/** Mapping outcome plus diagnostic counters. */
+struct UncalledResult
+{
+    bool mapped = false;
+    std::size_t bestClusterSeeds = 0; //!< largest colinear cluster
+    std::size_t eventCount = 0;
+    std::size_t seedsTried = 0;
+    std::size_t seedHits = 0;
+    bool reverseStrand = false;
+};
+
+/** Event-domain FM-index classifier. */
+class UncalledClassifier
+{
+  public:
+    /**
+     * @param target genome to enrich for
+     * @param model pore model used for greedy event decoding
+     * @param adc ADC converting raw codes to picoamps
+     */
+    UncalledClassifier(const genome::Genome &target,
+                       const pore::KmerModel &model,
+                       signal::Adc adc = {}, UncalledConfig config = {});
+
+    /** Map a raw-signal prefix. */
+    UncalledResult classify(std::span<const RawSample> raw) const;
+
+    /** Greedy event-to-base decode with affine refinement. */
+    std::vector<genome::Base>
+    greedyDecode(const std::vector<signal::Event> &events) const;
+
+    /** The configuration in effect. */
+    const UncalledConfig &config() const { return config_; }
+
+  private:
+    /** One greedy walk over normalised levels; fills the k-mer path. */
+    std::vector<genome::Base>
+    decodeLevels(const std::vector<double> &levels,
+                 std::vector<std::size_t> &path) const;
+
+    const pore::KmerModel &model_;
+    signal::Adc adc_;
+    UncalledConfig config_;
+    signal::EventDetector detector_;
+    FmIndex index_;
+};
+
+} // namespace sf::fmindex
+
+#endif // SF_FMINDEX_UNCALLED_HPP

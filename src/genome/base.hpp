@@ -1,0 +1,59 @@
+#ifndef SF_GENOME_BASE_HPP
+#define SF_GENOME_BASE_HPP
+
+/**
+ * @file
+ * Two-bit nucleotide representation and conversions.
+ */
+
+#include <cstdint>
+
+namespace sf::genome {
+
+/** A single nucleotide, packed into two bits. */
+enum class Base : std::uint8_t { A = 0, C = 1, G = 2, T = 3 };
+
+/** Number of distinct bases. */
+inline constexpr int kNumBases = 4;
+
+/** Watson-Crick complement (A<->T, C<->G). */
+inline Base
+complement(Base b)
+{
+    return static_cast<Base>(3 - static_cast<std::uint8_t>(b));
+}
+
+/** Upper-case character for a base. */
+inline char
+baseToChar(Base b)
+{
+    constexpr char table[] = {'A', 'C', 'G', 'T'};
+    return table[static_cast<std::uint8_t>(b)];
+}
+
+/**
+ * Parse a base character (case-insensitive).
+ * @retval true when @p c is a valid nucleotide and @p out was set.
+ */
+inline bool
+charToBase(char c, Base &out)
+{
+    switch (c) {
+      case 'A': case 'a': out = Base::A; return true;
+      case 'C': case 'c': out = Base::C; return true;
+      case 'G': case 'g': out = Base::G; return true;
+      case 'T': case 't': case 'U': case 'u': out = Base::T; return true;
+      default: return false;
+    }
+}
+
+/** Integral code of a base, in [0, 4). */
+inline std::uint8_t
+baseCode(Base b)
+{
+    return static_cast<std::uint8_t>(b);
+}
+
+} // namespace sf::genome
+
+#endif // SF_GENOME_BASE_HPP

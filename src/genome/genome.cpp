@@ -1,0 +1,106 @@
+#include "genome/genome.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace sf::genome {
+
+Genome::Genome(std::string name, std::vector<Base> bases)
+    : name_(std::move(name)), bases_(std::move(bases))
+{
+}
+
+Genome::Genome(std::string name, const std::string &sequence)
+    : name_(std::move(name)), bases_(stringToBases(sequence))
+{
+}
+
+Base
+Genome::at(std::size_t i) const
+{
+    if (i >= bases_.size()) {
+        fatal("Genome '%s': index %zu out of range (size %zu)",
+              name_.c_str(), i, bases_.size());
+    }
+    return bases_[i];
+}
+
+std::vector<Base>
+Genome::slice(std::size_t start, std::size_t len) const
+{
+    if (start >= bases_.size())
+        return {};
+    const std::size_t end = std::min(start + len, bases_.size());
+    return {bases_.begin() + long(start), bases_.begin() + long(end)};
+}
+
+Genome
+Genome::reverseComplement() const
+{
+    return {name_ + "-rc", sf::genome::reverseComplement(bases_)};
+}
+
+std::string
+Genome::toString() const
+{
+    return basesToString(bases_);
+}
+
+double
+Genome::gcContent() const
+{
+    if (bases_.empty())
+        return 0.0;
+    std::size_t gc = 0;
+    for (Base b : bases_) {
+        if (b == Base::G || b == Base::C)
+            ++gc;
+    }
+    return double(gc) / double(bases_.size());
+}
+
+std::vector<std::size_t>
+Genome::baseCounts() const
+{
+    std::vector<std::size_t> counts(kNumBases, 0);
+    for (Base b : bases_)
+        ++counts[baseCode(b)];
+    return counts;
+}
+
+std::vector<Base>
+reverseComplement(const std::vector<Base> &bases)
+{
+    std::vector<Base> out;
+    out.reserve(bases.size());
+    for (auto it = bases.rbegin(); it != bases.rend(); ++it)
+        out.push_back(complement(*it));
+    return out;
+}
+
+std::string
+basesToString(const std::vector<Base> &bases)
+{
+    std::string out;
+    out.reserve(bases.size());
+    for (Base b : bases)
+        out += baseToChar(b);
+    return out;
+}
+
+std::vector<Base>
+stringToBases(const std::string &sequence)
+{
+    std::vector<Base> out;
+    out.reserve(sequence.size());
+    for (char c : sequence) {
+        Base b;
+        if (!charToBase(c, b))
+            fatal("invalid nucleotide character '%c'", c);
+        out.push_back(b);
+    }
+    return out;
+}
+
+} // namespace sf::genome

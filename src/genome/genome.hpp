@@ -1,0 +1,97 @@
+#ifndef SF_GENOME_GENOME_HPP
+#define SF_GENOME_GENOME_HPP
+
+/**
+ * @file
+ * Genome container: a named nucleotide sequence with slicing,
+ * reverse-complement and composition queries.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "genome/base.hpp"
+
+namespace sf::genome {
+
+/**
+ * A named DNA/RNA sequence.
+ *
+ * RNA genomes (e.g. SARS-CoV-2) are stored in their cDNA form, as they
+ * would be after the SISPA protocol's complementary-DNA step, so a
+ * single representation serves both nucleic acids.
+ */
+class Genome
+{
+  public:
+    Genome() = default;
+
+    /** Construct from a name and explicit base vector. */
+    Genome(std::string name, std::vector<Base> bases);
+
+    /**
+     * Construct from a name and an ACGT string.
+     * Invalid characters raise sf::FatalError.
+     */
+    Genome(std::string name, const std::string &sequence);
+
+    /** Human-readable identifier (e.g. "sars-cov-2-wuhan-synthetic"). */
+    const std::string &name() const { return name_; }
+
+    /** Rename the genome (used by mutation / strain builders). */
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** Number of bases. */
+    std::size_t size() const { return bases_.size(); }
+
+    /** True when the genome holds no bases. */
+    bool empty() const { return bases_.empty(); }
+
+    /** Base at position @p i (unchecked). */
+    Base operator[](std::size_t i) const { return bases_[i]; }
+
+    /** Base at position @p i with bounds checking. */
+    Base at(std::size_t i) const;
+
+    /** Underlying base vector. */
+    const std::vector<Base> &bases() const { return bases_; }
+
+    /** Mutable access for in-place editing (mutation engine). */
+    std::vector<Base> &bases() { return bases_; }
+
+    /**
+     * Contiguous slice [start, start+len) as a new base vector.
+     * Clamped to the genome end; out-of-range start yields empty.
+     */
+    std::vector<Base> slice(std::size_t start, std::size_t len) const;
+
+    /** Full reverse-complement of this genome. */
+    Genome reverseComplement() const;
+
+    /** ACGT string rendering of the full sequence. */
+    std::string toString() const;
+
+    /** Fraction of G/C bases, in [0, 1]. */
+    double gcContent() const;
+
+    /** Per-base composition counts indexed by baseCode(). */
+    std::vector<std::size_t> baseCounts() const;
+
+  private:
+    std::string name_;
+    std::vector<Base> bases_;
+};
+
+/** Reverse-complement a bare base vector. */
+std::vector<Base> reverseComplement(const std::vector<Base> &bases);
+
+/** Render a bare base vector as an ACGT string. */
+std::string basesToString(const std::vector<Base> &bases);
+
+/** Parse an ACGT string; invalid characters raise sf::FatalError. */
+std::vector<Base> stringToBases(const std::string &sequence);
+
+} // namespace sf::genome
+
+#endif // SF_GENOME_GENOME_HPP

@@ -1,0 +1,153 @@
+#include "genome/mutate.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace sf::genome {
+
+namespace {
+
+/** Pick @p count distinct positions in [margin, size - margin). */
+std::vector<std::size_t>
+pickDistinctPositions(Rng &rng, std::size_t count, std::size_t size,
+                      std::size_t margin)
+{
+    if (size <= 2 * margin + count)
+        fatal("genome of size %zu too small for %zu mutations", size, count);
+    std::set<std::size_t> positions;
+    while (positions.size() < count) {
+        positions.insert(std::size_t(
+            rng.uniformInt(long(margin), long(size - margin - 1))));
+    }
+    return {positions.begin(), positions.end()};
+}
+
+/** Substitute with a base different from the current one. */
+Base
+substituteBase(Rng &rng, Base current)
+{
+    const auto shift = int(rng.uniformInt(1, 3));
+    return static_cast<Base>((baseCode(current) + shift) % kNumBases);
+}
+
+} // namespace
+
+Strain
+mutate(const Genome &reference, const MutationSpec &spec,
+       const std::string &strain_name)
+{
+    Rng rng(spec.seed);
+    const std::size_t total =
+        spec.substitutions + spec.insertions + spec.deletions;
+
+    // Keep indels away from the sequence ends so alignment anchoring
+    // in downstream tools stays well-defined.
+    auto positions = pickDistinctPositions(rng, total, reference.size(), 64);
+
+    // Shuffle position->type assignment deterministically.
+    std::vector<VariantType> types;
+    types.insert(types.end(), spec.substitutions,
+                 VariantType::Substitution);
+    types.insert(types.end(), spec.insertions, VariantType::Insertion);
+    types.insert(types.end(), spec.deletions, VariantType::Deletion);
+    for (std::size_t i = types.size(); i > 1; --i) {
+        std::swap(types[i - 1],
+                  types[std::size_t(rng.uniformInt(0, long(i) - 1))]);
+    }
+
+    std::vector<Variant> variants;
+    variants.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+        Variant v;
+        v.type = types[i];
+        v.position = positions[i];
+        switch (v.type) {
+          case VariantType::Substitution:
+            v.ref = {reference[v.position]};
+            v.alt = {substituteBase(rng, reference[v.position])};
+            break;
+          case VariantType::Insertion: {
+            const auto len =
+                std::size_t(rng.uniformInt(1, long(spec.maxIndelLength)));
+            for (std::size_t k = 0; k < len; ++k)
+                v.alt.push_back(static_cast<Base>(rng.uniformInt(0, 3)));
+            break;
+          }
+          case VariantType::Deletion: {
+            const auto len =
+                std::size_t(rng.uniformInt(1, long(spec.maxIndelLength)));
+            v.ref = reference.slice(v.position, len);
+            break;
+          }
+        }
+        variants.push_back(std::move(v));
+    }
+    std::sort(variants.begin(), variants.end(),
+              [](const Variant &a, const Variant &b) {
+                  return a.position < b.position;
+              });
+
+    // Apply back-to-front so earlier positions stay valid.
+    std::vector<Base> bases = reference.bases();
+    for (auto it = variants.rbegin(); it != variants.rend(); ++it) {
+        switch (it->type) {
+          case VariantType::Substitution:
+            bases[it->position] = it->alt.front();
+            break;
+          case VariantType::Insertion:
+            bases.insert(bases.begin() + long(it->position),
+                         it->alt.begin(), it->alt.end());
+            break;
+          case VariantType::Deletion:
+            bases.erase(bases.begin() + long(it->position),
+                        bases.begin() + long(it->position + it->ref.size()));
+            break;
+        }
+    }
+
+    Strain strain;
+    strain.genome = Genome(strain_name, std::move(bases));
+    strain.variants = std::move(variants);
+    return strain;
+}
+
+std::vector<Strain>
+makeSarsCov2Clades(const Genome &reference)
+{
+    // Substitution counts per clade from Table 2 of the paper.
+    struct CladeSpec { const char *name; std::size_t snps; std::uint64_t seed; };
+    static constexpr CladeSpec clades[] = {
+        {"19A", 23, 0x19a1}, {"19B", 18, 0x19b1}, {"20A", 22, 0x20a1},
+        {"20B", 17, 0x20b1}, {"20C", 17, 0x20c1},
+    };
+
+    std::vector<Strain> out;
+    out.reserve(std::size(clades));
+    for (const auto &clade : clades) {
+        MutationSpec spec;
+        spec.substitutions = clade.snps;
+        spec.seed = clade.seed;
+        out.push_back(mutate(reference, spec,
+                             reference.name() + "-clade-" + clade.name));
+    }
+    return out;
+}
+
+std::size_t
+hammingDistance(const Genome &a, const Genome &b)
+{
+    if (a.size() != b.size())
+        fatal("hammingDistance requires equal-length genomes (%zu vs %zu)",
+              a.size(), b.size());
+    std::size_t distance = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i])
+            ++distance;
+    }
+    return distance;
+}
+
+} // namespace sf::genome

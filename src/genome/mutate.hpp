@@ -1,0 +1,73 @@
+#ifndef SF_GENOME_MUTATE_HPP
+#define SF_GENOME_MUTATE_HPP
+
+/**
+ * @file
+ * Mutation engine: derives viral strains from a reference genome and
+ * records the ground-truth variant list.
+ *
+ * Backs Table 2 (strain SNP counts), Figure 19 (filter robustness vs
+ * reference divergence) and the variant-caller tests (the caller must
+ * recover exactly the variants injected here).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genome/genome.hpp"
+
+namespace sf::genome {
+
+/** Kind of a single genomic variant. */
+enum class VariantType { Substitution, Insertion, Deletion };
+
+/** One ground-truth or called variant, in reference coordinates. */
+struct Variant
+{
+    VariantType type = VariantType::Substitution;
+    std::size_t position = 0; //!< 0-based reference coordinate
+    std::vector<Base> ref;    //!< reference allele (empty for insertion)
+    std::vector<Base> alt;    //!< alternate allele (empty for deletion)
+
+    bool operator==(const Variant &other) const = default;
+};
+
+/** Requested mutation counts for strain derivation. */
+struct MutationSpec
+{
+    std::size_t substitutions = 0;
+    std::size_t insertions = 0;
+    std::size_t deletions = 0;
+    std::size_t maxIndelLength = 3;
+    std::uint64_t seed = 7;
+};
+
+/** A derived strain: mutated genome plus its ground-truth variants. */
+struct Strain
+{
+    Genome genome;
+    std::vector<Variant> variants; //!< sorted by reference position
+};
+
+/**
+ * Derive a strain by applying random mutations to @p reference.
+ * Mutation sites are distinct and sorted; the returned variant list is
+ * expressed against the *original* reference coordinates.
+ */
+Strain mutate(const Genome &reference, const MutationSpec &spec,
+              const std::string &strain_name);
+
+/**
+ * Reproduce the Table 2 clade set: five strains whose substitution
+ * counts match the paper (19A:23, 19B:18, 20A:22, 20B:17, 20C:17),
+ * with no insertions or deletions.
+ */
+std::vector<Strain> makeSarsCov2Clades(const Genome &reference);
+
+/** Count positions where two equal-length genomes differ. */
+std::size_t hammingDistance(const Genome &a, const Genome &b);
+
+} // namespace sf::genome
+
+#endif // SF_GENOME_MUTATE_HPP

@@ -1,0 +1,136 @@
+#include "genome/synthetic.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace sf::genome {
+
+namespace {
+
+/** Draw one base with the requested GC bias. */
+Base
+drawBase(Rng &rng, double gc)
+{
+    const double u = rng.uniform();
+    if (u < gc / 2.0)
+        return Base::G;
+    if (u < gc)
+        return Base::C;
+    if (u < gc + (1.0 - gc) / 2.0)
+        return Base::A;
+    return Base::T;
+}
+
+} // namespace
+
+Genome
+makeSynthetic(const std::string &name, const SyntheticSpec &spec)
+{
+    if (spec.length == 0)
+        fatal("synthetic genome '%s' must have non-zero length",
+              name.c_str());
+    if (spec.gcContent < 0.0 || spec.gcContent > 1.0)
+        fatal("synthetic genome '%s': GC content %f out of [0,1]",
+              name.c_str(), spec.gcContent);
+
+    Rng rng(spec.seed);
+    std::vector<Base> bases;
+    bases.reserve(spec.length);
+
+    while (bases.size() < spec.length) {
+        const bool in_repeat =
+            spec.repeatFraction > 0.0 && rng.bernoulli(spec.repeatFraction);
+        if (in_repeat && spec.repeatUnit >= 4) {
+            // Emit a tandem repeat: a random unit copied 2-6 times.
+            std::vector<Base> unit;
+            unit.reserve(spec.repeatUnit);
+            for (std::size_t i = 0; i < spec.repeatUnit; ++i)
+                unit.push_back(drawBase(rng, spec.gcContent));
+            const int copies = int(rng.uniformInt(2, 6));
+            for (int c = 0; c < copies && bases.size() < spec.length; ++c) {
+                for (Base b : unit) {
+                    if (bases.size() >= spec.length)
+                        break;
+                    bases.push_back(b);
+                }
+            }
+        } else {
+            // Emit a unique stretch between repeat insertions.
+            const auto stretch = std::size_t(rng.uniformInt(200, 1200));
+            for (std::size_t i = 0;
+                 i < stretch && bases.size() < spec.length; ++i) {
+                bases.push_back(drawBase(rng, spec.gcContent));
+            }
+        }
+    }
+    return {name, std::move(bases)};
+}
+
+Genome
+makeSarsCov2()
+{
+    SyntheticSpec spec;
+    spec.length = 29903;
+    spec.gcContent = 0.38;
+    spec.repeatFraction = 0.02;
+    spec.seed = 0xc0517dULL;
+    return makeSynthetic("sars-cov-2-wuhan-synthetic", spec);
+}
+
+Genome
+makeLambdaPhage()
+{
+    SyntheticSpec spec;
+    spec.length = 48502;
+    spec.gcContent = 0.50;
+    spec.repeatFraction = 0.02;
+    spec.seed = 0x1a3bdaULL;
+    return makeSynthetic("lambda-phage-synthetic", spec);
+}
+
+Genome
+makeHumanBackground(std::size_t length)
+{
+    SyntheticSpec spec;
+    spec.length = length;
+    spec.gcContent = 0.41;
+    spec.repeatFraction = 0.15; // human DNA is repeat-rich
+    spec.repeatUnit = 60;
+    spec.seed = 0x40da7ULL;
+    return makeSynthetic("human-background-synthetic", spec);
+}
+
+const std::vector<VirusInfo> &
+epidemicVirusCatalogue()
+{
+    // Genome lengths follow Figure 10 / Mahmoudabadi & Phillips (2018).
+    static const std::vector<VirusInfo> catalogue = {
+        {"Hepatitis D", 1700, false},
+        {"Hepatitis B", 3200, false},
+        {"Rhinovirus", 7200, false},
+        {"Hepatitis A", 7500, false},
+        {"Poliovirus", 7500, false},
+        {"Norovirus", 7600, false},
+        {"Hepatitis E", 7200, false},
+        {"Dengue", 10700, false},
+        {"Zika", 10800, false},
+        {"Yellow fever", 11000, false},
+        {"West Nile", 11000, false},
+        {"Rabies", 11900, false},
+        {"Mumps", 15300, false},
+        {"Measles", 15900, false},
+        {"Ebola", 19000, false},
+        {"Influenza A", 13500, false},
+        {"Rotavirus", 18500, true},
+        {"SARS-CoV", 29700, false},
+        {"MERS-CoV", 30100, false},
+        {"SARS-CoV-2", 29903, false},
+        {"Smallpox", 186000, true},
+        {"Herpes simplex 1", 152000, true},
+    };
+    return catalogue;
+}
+
+} // namespace sf::genome

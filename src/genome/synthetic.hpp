@@ -1,0 +1,71 @@
+#ifndef SF_GENOME_SYNTHETIC_HPP
+#define SF_GENOME_SYNTHETIC_HPP
+
+/**
+ * @file
+ * Seeded synthetic genome builders.
+ *
+ * Real reference genomes (SARS-CoV-2 Wuhan, lambda phage, human) are
+ * not shipped with this repository; instead we synthesise genomes of
+ * the correct lengths with realistic GC bias and tandem-repeat
+ * structure.  All builders are deterministic for a given seed, so every
+ * experiment in bench/ is reproducible.  See DESIGN.md §1 for why this
+ * substitution preserves the paper's behaviour.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "genome/genome.hpp"
+
+namespace sf::genome {
+
+/** Parameters for random genome synthesis. */
+struct SyntheticSpec
+{
+    std::size_t length = 30000;  //!< genome length in bases
+    double gcContent = 0.42;     //!< target G+C fraction
+    double repeatFraction = 0.05;//!< fraction of bases inside repeats
+    std::size_t repeatUnit = 40; //!< tandem repeat unit length
+    std::uint64_t seed = 1;      //!< RNG seed
+};
+
+/** Build a random genome according to @p spec. */
+Genome makeSynthetic(const std::string &name, const SyntheticSpec &spec);
+
+/**
+ * Synthetic stand-in for the SARS-CoV-2 Wuhan reference:
+ * 29,903 bases, ~38% GC.
+ */
+Genome makeSarsCov2();
+
+/** Synthetic stand-in for the lambda phage genome: 48,502 bases. */
+Genome makeLambdaPhage();
+
+/**
+ * Synthetic human-like background genome used as the non-target read
+ * source.  The real human genome is ~3 Gb; classification behaviour
+ * only requires that background reads are unrelated to the target
+ * reference, so a multi-megabase surrogate suffices.
+ * @param length surrogate length in bases (default 4 Mb)
+ */
+Genome makeHumanBackground(std::size_t length = 4'000'000);
+
+/** Catalogue entry for Figure 10 (epidemic virus genome lengths). */
+struct VirusInfo
+{
+    const char *name;
+    std::size_t genomeLength; //!< bases
+    bool doubleStranded;      //!< dsDNA vs ssRNA
+};
+
+/**
+ * Epidemic virus catalogue reproduced from Figure 10: every listed
+ * single-stranded genome is below 50 kb except the dsDNA outliers
+ * (smallpox, herpes simplex).
+ */
+const std::vector<VirusInfo> &epidemicVirusCatalogue();
+
+} // namespace sf::genome
+
+#endif // SF_GENOME_SYNTHETIC_HPP

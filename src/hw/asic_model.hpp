@@ -1,0 +1,112 @@
+#ifndef SF_HW_ASIC_MODEL_HPP
+#define SF_HW_ASIC_MODEL_HPP
+
+/**
+ * @file
+ * Area / power / timing model of the synthesised ASIC.
+ *
+ * Per-component area and power constants are calibrated to the paper's
+ * 28 nm TSMC synthesis results (Table 4): a 1203 um^2, 1.92 mW PE at
+ * 2.5 GHz, with tile power derived from PE power times an activity
+ * factor (not every PE computes every cycle — the wavefront ramps).
+ * Composing the constants reproduces Table 4 and, together with the
+ * cycle model, the latency/throughput claims of §7.1-§7.2.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace sf::hw {
+
+/** One row of the synthesis summary. */
+struct ComponentCost
+{
+    std::string name;
+    double areaMm2 = 0.0;
+    double powerW = 0.0;
+};
+
+/** Analytical ASIC model. */
+class AsicModel
+{
+  public:
+    // Calibrated 28 nm TSMC constants (paper Table 4).
+    static constexpr double kClockGhz = 2.5;
+    static constexpr double kPeAreaMm2 = 1203e-6;    //!< 1203 um^2
+    static constexpr double kPePowerW = 1.92e-3;     //!< 1.92 mW
+    static constexpr double kNormalizerAreaMm2 = 0.014;
+    static constexpr double kNormalizerPowerW = 0.045;
+    static constexpr double kQueryBufferAreaMm2 = 0.023;
+    static constexpr double kQueryBufferPowerW = 0.009;
+    static constexpr double kRefBufferAreaMm2 = 0.185;
+    static constexpr double kRefBufferPowerW = 0.028;
+    /** Wavefront ramp-up means PEs average ~71% switching activity. */
+    static constexpr double kPeActivityFactor = 0.712;
+    /** Per-tile interconnect/control overhead. */
+    static constexpr double kTileGlueAreaMm2 = 0.019;
+    static constexpr double kTileGluePowerW = 0.043;
+
+    explicit AsicModel(std::size_t num_pes = 2000, int num_tiles = 5);
+
+    /** Area of the PE array + normaliser ("Tile" row of Table 4). */
+    double tileCoreAreaMm2() const;
+
+    /** Power of the PE array + normaliser. */
+    double tileCorePowerW() const;
+
+    /** Complete 1-tile ASIC: tile core + buffers + glue. */
+    double oneTileAreaMm2() const;
+    double oneTilePowerW() const;
+
+    /** Complete chip with all tiles instantiated. */
+    double chipAreaMm2() const;
+
+    /** Chip power with @p active_tiles not power-gated. */
+    double chipPowerW(int active_tiles) const;
+
+    /** Cycles to classify a prefix: 2L (normalise) + L + M - 1. */
+    static std::uint64_t classifyCycles(std::size_t prefix_samples,
+                                        std::size_t ref_samples);
+
+    /** Classification latency in milliseconds. */
+    static double classifyLatencyMs(std::size_t prefix_samples,
+                                    std::size_t ref_samples);
+
+    /**
+     * Steady-state samples/second classified by one tile: L raw
+     * samples retired per classifyCycles() period.
+     */
+    static double tileThroughputSamplesPerSec(std::size_t prefix_samples,
+                                              std::size_t ref_samples);
+
+    /** Chip throughput with @p active_tiles tiles running. */
+    double chipThroughputSamplesPerSec(std::size_t prefix_samples,
+                                       std::size_t ref_samples,
+                                       int active_tiles) const;
+
+    /**
+     * Multi-stage checkpoint bandwidth per tile: one 4-byte cell per
+     * cycle at the synthesised clock, in GB/s (paper: ~10 GB/s).
+     */
+    static double checkpointBandwidthGBsPerTile();
+
+    /** Component/area/power breakdown rows (Table 4). */
+    std::vector<ComponentCost> breakdown() const;
+
+    /** Render Table 4. */
+    Table table4() const;
+
+    std::size_t numPes() const { return numPes_; }
+    int numTiles() const { return numTiles_; }
+
+  private:
+    std::size_t numPes_;
+    int numTiles_;
+};
+
+} // namespace sf::hw
+
+#endif // SF_HW_ASIC_MODEL_HPP

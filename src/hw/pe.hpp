@@ -1,0 +1,122 @@
+#ifndef SF_HW_PE_HPP
+#define SF_HW_PE_HPP
+
+/**
+ * @file
+ * SquiggleFilter processing element (paper §5.2, Figure 14).
+ *
+ * Each PE holds one normalised query sample and computes one sDTW cell
+ * per cycle as reference samples stream past.  At cycle c, PE i
+ * evaluates cell (i, j = c - i) using its upstream neighbour's outputs
+ * from cycles c-1 (the vertical predecessor, cell (i-1, j)) and c-2
+ * (the diagonal predecessor, cell (i-1, j-1)), the latter adjusted by
+ * the match bonus.  The upstream c-2 output is invalid exactly when
+ * the current cell sits in reference column 0, where no diagonal
+ * predecessor exists.  All state lives in explicit registers so the
+ * simulation is cycle-accurate.
+ *
+ * PE 0 has no upstream neighbour; the systolic array synthesises its
+ * upstream wires from either the fresh-start boundary (cost 0,
+ * dwell 0, so the cell reduces to the pointwise distance) or, in
+ * multi-stage resume, from the checkpoint row streamed back from DRAM.
+ */
+
+#include <cstdint>
+
+#include "common/fixed.hpp"
+#include "common/types.hpp"
+
+namespace sf::hw {
+
+/** Wires presented by a PE to its downstream neighbour. */
+struct PeOutputs
+{
+    Cost costD1 = 0;           //!< cost computed last cycle (c-1)
+    Cost costD2 = 0;           //!< cost computed two cycles ago (c-2)
+    std::uint8_t dwellD1 = 0;  //!< dwell counter at c-1
+    std::uint8_t dwellD2 = 0;  //!< dwell counter at c-2
+    NormSample refD1 = 0;      //!< reference sample consumed at c-1
+    bool validD1 = false;      //!< the c-1 output is a real cell
+    bool validD2 = false;      //!< the c-2 output is a real cell
+};
+
+/** One systolic processing element. */
+class ProcessingElement
+{
+  public:
+    /** Load a query sample and clear the pipeline registers. */
+    void
+    load(NormSample q)
+    {
+        query_ = q;
+        out_ = PeOutputs{};
+    }
+
+    /**
+     * Advance one clock: compute cell (i, j) from upstream wires.
+     *
+     * @param up outputs of the upstream neighbour
+     * @param bonus match-bonus constant in cost units (0 disables)
+     * @param dwell_cap dwell counter saturation value
+     */
+    void
+    step(const PeOutputs &up, Cost bonus, std::uint8_t dwell_cap)
+    {
+        // Shift our own pipeline registers (c-1 becomes c-2).
+        out_.costD2 = out_.costD1;
+        out_.dwellD2 = out_.dwellD1;
+        out_.validD2 = out_.validD1;
+
+        if (!up.validD1) {
+            // Beyond the wavefront, or the reference stream ended.
+            out_.validD1 = false;
+            return;
+        }
+
+        const NormSample r = up.refD1;
+        const Cost point = absDiff(query_, r);
+
+        const Cost vert = up.costD1;
+        Cost best = vert;
+        auto dwell = std::uint8_t(up.dwellD1 < dwell_cap ? up.dwellD1 + 1
+                                                         : dwell_cap);
+
+        if (up.validD2) {
+            // Diagonal predecessor (i-1, j-1), reduced by the match
+            // bonus scaled by its capped dwell counter.
+            const Cost reward = bonus *
+                Cost(up.dwellD2 < dwell_cap ? up.dwellD2 : dwell_cap);
+            const Cost diag = satSub(up.costD2, reward);
+            if (diag <= vert) {
+                best = diag;
+                dwell = 1;
+            }
+        }
+
+        out_.costD1 = satAdd(best, point);
+        out_.dwellD1 = dwell;
+        out_.refD1 = r;
+        out_.validD1 = true;
+    }
+
+    /** Current register values visible to the downstream PE. */
+    const PeOutputs &outputs() const { return out_; }
+
+    /** The query sample held by this PE. */
+    NormSample query() const { return query_; }
+
+  private:
+    static Cost
+    absDiff(NormSample a, NormSample b)
+    {
+        const int d = int(a) - int(b);
+        return Cost(d < 0 ? -d : d);
+    }
+
+    NormSample query_ = 0;
+    PeOutputs out_;
+};
+
+} // namespace sf::hw
+
+#endif // SF_HW_PE_HPP

@@ -1,0 +1,65 @@
+#include "pipeline/cost_model.hpp"
+
+#include "common/logging.hpp"
+
+namespace sf::pipeline {
+
+PipelineCostModel::PipelineCostModel(
+    basecall::BasecallerPerfModel basecaller, StageCosts costs)
+    : basecaller_(basecaller), costs_(costs)
+{
+}
+
+double
+PipelineCostModel::totalReads(const AssemblyWorkload &workload) const
+{
+    if (workload.targetFraction <= 0.0)
+        fatal("viral fraction must be positive");
+    const double target_reads = workload.coverage * workload.genomeBases /
+                                workload.targetReadBases;
+    return target_reads / workload.targetFraction;
+}
+
+double
+PipelineCostModel::totalBases(const AssemblyWorkload &workload) const
+{
+    const double mean_len =
+        workload.targetFraction * workload.targetReadBases +
+        (1.0 - workload.targetFraction) * workload.backgroundReadBases;
+    return totalReads(workload) * mean_len;
+}
+
+StageBreakdown
+PipelineCostModel::breakdown(const AssemblyWorkload &workload) const
+{
+    StageBreakdown out;
+    out.basecallSec = totalBases(workload) /
+                      basecaller_.batchThroughputBasesPerSec();
+    out.alignSec = totalReads(workload) * costs_.alignSecPerRead;
+    out.variantCallSec = workload.genomeBases *
+                         costs_.variantSecPerTargetBase;
+    return out;
+}
+
+StageBreakdown
+PipelineCostModel::breakdownWithFilter(const AssemblyWorkload &workload,
+                                       double tpr, double fpr) const
+{
+    const double reads = totalReads(workload);
+    const double kept_targets = reads * workload.targetFraction * tpr;
+    const double kept_decoys =
+        reads * (1.0 - workload.targetFraction) * fpr;
+
+    StageBreakdown out;
+    const double kept_bases =
+        kept_targets * workload.targetReadBases +
+        kept_decoys * workload.backgroundReadBases;
+    out.basecallSec =
+        kept_bases / basecaller_.batchThroughputBasesPerSec();
+    out.alignSec = (kept_targets + kept_decoys) * costs_.alignSecPerRead;
+    out.variantCallSec = workload.genomeBases *
+                         costs_.variantSecPerTargetBase;
+    return out;
+}
+
+} // namespace sf::pipeline

@@ -1,0 +1,91 @@
+#ifndef SF_PIPELINE_COST_MODEL_HPP
+#define SF_PIPELINE_COST_MODEL_HPP
+
+/**
+ * @file
+ * Stage-level compute cost model of the bioinformatics pipeline
+ * (paper §3, Figure 5).
+ *
+ * Estimates per-stage compute seconds for a whole-genome assembly at
+ * a given viral fraction: basecalling dominates (~96%) because every
+ * read must be basecalled before alignment can discard it, while the
+ * aligner faces only a 30 kb reference and the variant caller only
+ * the ~1%/0.1% of reads that are viral.
+ */
+
+#include "basecall/perf_model.hpp"
+
+namespace sf::pipeline {
+
+/** Workload description for one assembly run. */
+struct AssemblyWorkload
+{
+    double targetFraction = 0.01;
+    double genomeBases = 29903.0;
+    double coverage = 30.0;
+    double targetReadBases = 1800.0;
+    double backgroundReadBases = 6000.0;
+};
+
+/** Per-stage compute seconds. */
+struct StageBreakdown
+{
+    double basecallSec = 0.0;
+    double alignSec = 0.0;
+    double variantCallSec = 0.0;
+
+    double total() const
+    {
+        return basecallSec + alignSec + variantCallSec;
+    }
+    double basecallFraction() const
+    {
+        return total() > 0.0 ? basecallSec / total() : 0.0;
+    }
+};
+
+/** Calibrated per-stage throughput constants. */
+struct StageCosts
+{
+    /** Aligner time per read against a <100 kb reference (seconds). */
+    double alignSecPerRead = 0.2e-3;
+    /** Variant-calling time per target base at 30x (seconds). */
+    double variantSecPerTargetBase = 12.0 / 29903.0;
+};
+
+/** Pipeline compute cost model. */
+class PipelineCostModel
+{
+  public:
+    /**
+     * @param basecaller basecaller/device performance model used for
+     *        the basecalling stage (batch throughput)
+     */
+    explicit PipelineCostModel(basecall::BasecallerPerfModel basecaller,
+                               StageCosts costs = {});
+
+    /** Reads that must be sequenced to hit the coverage target. */
+    double totalReads(const AssemblyWorkload &workload) const;
+
+    /** Total bases across all sequenced reads. */
+    double totalBases(const AssemblyWorkload &workload) const;
+
+    /** Per-stage compute seconds for the full pipeline (no filter). */
+    StageBreakdown breakdown(const AssemblyWorkload &workload) const;
+
+    /**
+     * Per-stage compute seconds when SquiggleFilter removes
+     * non-target reads before basecalling: only kept reads (true
+     * positives plus false positives) reach the DNN.
+     */
+    StageBreakdown breakdownWithFilter(const AssemblyWorkload &workload,
+                                       double tpr, double fpr) const;
+
+  private:
+    basecall::BasecallerPerfModel basecaller_;
+    StageCosts costs_;
+};
+
+} // namespace sf::pipeline
+
+#endif // SF_PIPELINE_COST_MODEL_HPP

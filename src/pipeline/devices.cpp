@@ -1,0 +1,35 @@
+#include "pipeline/devices.hpp"
+
+#include "common/types.hpp"
+
+namespace sf::pipeline {
+
+const std::vector<DeviceSpec> &
+evaluatedDevices()
+{
+    static const std::vector<DeviceSpec> devices = {
+        {"Jetson AGX Xavier", "Edge GPU", 512, 1377.0, 30.0},
+        {"ARMv8.2", "Edge CPU", 8, 2265.0, 15.0},
+        {"Titan XP", "GPU", 3840, 1582.0, 250.0},
+        {"2x Intel Xeon E5-2697v3", "CPU", 56, 2600.0, 290.0},
+    };
+    return devices;
+}
+
+const std::vector<SequencerSpec> &
+sequencerRoadmap()
+{
+    static const std::vector<SequencerSpec> roadmap = {
+        {"MinION Mk1B", kMinionMaxSamplesPerSec, kMinionMaxBasesPerSec,
+         1.0},
+        {"GridION", 5.0 * kMinionMaxSamplesPerSec,
+         5.0 * kMinionMaxBasesPerSec, 5.0},
+        {"MinION prototype (2019)", 16.0 * kMinionMaxSamplesPerSec,
+         16.0 * kMinionMaxBasesPerSec, 16.0},
+        {"Announced dense flow cell", 100.0 * kMinionMaxSamplesPerSec,
+         100.0 * kMinionMaxBasesPerSec, 100.0},
+    };
+    return roadmap;
+}
+
+} // namespace sf::pipeline

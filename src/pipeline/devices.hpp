@@ -1,0 +1,42 @@
+#ifndef SF_PIPELINE_DEVICES_HPP
+#define SF_PIPELINE_DEVICES_HPP
+
+/**
+ * @file
+ * Architectural specifications of the evaluated compute devices
+ * (paper Table 3) and sequencing platforms.
+ */
+
+#include <string>
+#include <vector>
+
+namespace sf::pipeline {
+
+/** One device row of Table 3. */
+struct DeviceSpec
+{
+    std::string model;
+    std::string kind;   //!< "Edge GPU", "GPU", "Edge CPU", "CPU"
+    int cores = 0;
+    double clockMHz = 0.0;
+    double powerW = 0.0;
+};
+
+/** The four devices of Table 3. */
+const std::vector<DeviceSpec> &evaluatedDevices();
+
+/** One sequencing platform (Figure 6 / §3.2). */
+struct SequencerSpec
+{
+    std::string model;
+    double samplesPerSec = 0.0; //!< aggregate raw-signal output
+    double basesPerSec = 0.0;   //!< aggregate base output
+    double relativeToMinion = 1.0;
+};
+
+/** MinION, GridION and announced future platforms. */
+const std::vector<SequencerSpec> &sequencerRoadmap();
+
+} // namespace sf::pipeline
+
+#endif // SF_PIPELINE_DEVICES_HPP

@@ -1,0 +1,125 @@
+#include "pipeline/experiments.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "genome/synthetic.hpp"
+
+namespace sf::pipeline {
+
+const pore::KmerModel &
+defaultKmerModel()
+{
+    static const pore::KmerModel model = pore::KmerModel::makeR941();
+    return model;
+}
+
+const genome::Genome &
+lambdaGenome()
+{
+    static const genome::Genome g = genome::makeLambdaPhage();
+    return g;
+}
+
+const genome::Genome &
+sarsCov2Genome()
+{
+    static const genome::Genome g = genome::makeSarsCov2();
+    return g;
+}
+
+const genome::Genome &
+humanBackground()
+{
+    static const genome::Genome g = genome::makeHumanBackground();
+    return g;
+}
+
+const pore::ReferenceSquiggle &
+lambdaSquiggle()
+{
+    static const pore::ReferenceSquiggle ref(lambdaGenome(),
+                                             defaultKmerModel());
+    return ref;
+}
+
+const pore::ReferenceSquiggle &
+sarsCov2Squiggle()
+{
+    static const pore::ReferenceSquiggle ref(sarsCov2Genome(),
+                                             defaultKmerModel());
+    return ref;
+}
+
+const signal::SignalSimulator &
+defaultSimulator()
+{
+    static const signal::SignalSimulator sim(defaultKmerModel());
+    return sim;
+}
+
+double
+benchScale()
+{
+    const char *env = std::getenv("SF_SCALE");
+    if (env == nullptr)
+        return 1.0;
+    const double scale = std::atof(env);
+    return std::max(0.1, scale);
+}
+
+std::size_t
+scaledReads(std::size_t base_count)
+{
+    const auto scaled =
+        std::size_t(double(base_count) * benchScale());
+    return std::max<std::size_t>(8, scaled);
+}
+
+namespace {
+
+signal::Dataset
+makeBalanced(const genome::Genome &target, std::size_t per_class,
+             std::uint64_t seed)
+{
+    const signal::DatasetGenerator generator(target, humanBackground(),
+                                             defaultSimulator());
+    signal::DatasetSpec spec;
+    spec.numReads = 2 * per_class;
+    spec.targetFraction = 0.5;
+    spec.targetLengths = {2500.0, 0.5, 700, 20000};
+    spec.backgroundLengths = {6000.0, 0.55, 700, 40000};
+    spec.seed = seed;
+    return generator.generate(spec);
+}
+
+} // namespace
+
+signal::Dataset
+makeLambdaDataset(std::size_t per_class, std::uint64_t seed)
+{
+    return makeBalanced(lambdaGenome(), per_class, seed);
+}
+
+signal::Dataset
+makeCovidDataset(std::size_t per_class, std::uint64_t seed)
+{
+    return makeBalanced(sarsCov2Genome(), per_class, seed);
+}
+
+signal::Dataset
+makeSpecimen(double viral_fraction, std::size_t num_reads,
+             std::uint64_t seed)
+{
+    const signal::DatasetGenerator generator(
+        sarsCov2Genome(), humanBackground(), defaultSimulator());
+    signal::DatasetSpec spec;
+    spec.numReads = num_reads;
+    spec.targetFraction = viral_fraction;
+    spec.targetLengths = {1800.0, 0.5, 500, 15000};
+    spec.backgroundLengths = {6000.0, 0.55, 500, 40000};
+    spec.seed = seed;
+    return generator.generate(spec);
+}
+
+} // namespace sf::pipeline

@@ -1,0 +1,68 @@
+#ifndef SF_PIPELINE_EXPERIMENTS_HPP
+#define SF_PIPELINE_EXPERIMENTS_HPP
+
+/**
+ * @file
+ * Shared experiment fixtures: the reference genomes, pore model and
+ * fixed-seed datasets every bench and integration test draws from, so
+ * results are reproducible across binaries.
+ *
+ * Dataset sizes scale with the SF_SCALE environment variable
+ * (default 1.0): the paper uses 1000+1000 reads per experiment, which
+ * is precise but slow on two cores; SF_SCALE lets CI run a faithful
+ * small version and a workstation reproduce the full size
+ * (SF_SCALE=10 roughly matches the paper's read counts).
+ */
+
+#include <cstddef>
+
+#include "genome/genome.hpp"
+#include "pore/kmer_model.hpp"
+#include "pore/reference_squiggle.hpp"
+#include "signal/dataset.hpp"
+
+namespace sf::pipeline {
+
+/** Process-wide pore model (deterministic). */
+const pore::KmerModel &defaultKmerModel();
+
+/** Cached synthetic reference genomes. */
+const genome::Genome &lambdaGenome();
+const genome::Genome &sarsCov2Genome();
+const genome::Genome &humanBackground();
+
+/** Cached reference squiggles (both strands). */
+const pore::ReferenceSquiggle &lambdaSquiggle();
+const pore::ReferenceSquiggle &sarsCov2Squiggle();
+
+/** Default signal simulator over the default pore model. */
+const signal::SignalSimulator &defaultSimulator();
+
+/** SF_SCALE environment scale factor (default 1.0, clamped >= 0.1). */
+double benchScale();
+
+/** Reads per class scaled by benchScale(). */
+std::size_t scaledReads(std::size_t base_count);
+
+/**
+ * Balanced lambda-vs-human dataset (the paper's Figure 11/17a/18/19
+ * substrate): @p per_class target and background reads each.
+ */
+signal::Dataset makeLambdaDataset(std::size_t per_class,
+                                  std::uint64_t seed = 0x11aa);
+
+/** Balanced SARS-CoV-2-vs-human dataset (Figure 17c). */
+signal::Dataset makeCovidDataset(std::size_t per_class,
+                                 std::uint64_t seed = 0xc0f1);
+
+/**
+ * Metagenomic specimen with realistic viral fraction (1% / 0.1%),
+ * used by the end-to-end pipeline runs.
+ */
+signal::Dataset makeSpecimen(double viral_fraction,
+                             std::size_t num_reads,
+                             std::uint64_t seed = 0x5bec);
+
+} // namespace sf::pipeline
+
+#endif // SF_PIPELINE_EXPERIMENTS_HPP

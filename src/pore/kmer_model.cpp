@@ -1,0 +1,109 @@
+#include "pore/kmer_model.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace sf::pore {
+
+namespace {
+
+/** Per-position sensing weights; centre bases dominate. */
+constexpr double kPositionWeight[KmerModel::kK] = {
+    2.5, 4.5, 7.5, 7.0, 4.0, 2.0
+};
+
+/** Per-base current contribution, roughly ordered by molecule size. */
+constexpr double kBaseContribution[genome::kNumBases] = {
+    -1.0, // A
+    -0.35, // C
+    +0.35, // G
+    +1.0, // T
+};
+
+/** Baseline open-pore-adjacent current level. */
+constexpr double kBaselinePa = 92.0;
+
+} // namespace
+
+KmerModel
+KmerModel::makeR941()
+{
+    KmerModel model;
+    model.levels_.resize(kNumKmers);
+    model.stdvs_.resize(kNumKmers);
+
+    // A dedicated RNG keyed on the k-mer index provides a deterministic
+    // perturbation so distinct k-mers with identical composition still
+    // separate, as in the real table.
+    double sum = 0.0;
+    for (std::size_t idx = 0; idx < kNumKmers; ++idx) {
+        double level = kBaselinePa;
+        std::size_t shifted = idx;
+        for (std::size_t pos = kK; pos-- > 0;) {
+            const auto code = shifted & 0x3;
+            shifted >>= 2;
+            level += kPositionWeight[pos] * kBaseContribution[code];
+        }
+        // Real pore tables are strongly nonlinear in the base
+        // composition; the per-k-mer perturbation supplies that
+        // nonlinearity (without it, distinct sequences would be
+        // acoustically degenerate and undecodable).
+        Rng jitter(0x6b6d6572ULL ^ (idx * 0x9e3779b97f4a7c15ULL));
+        level += jitter.gaussian(0.0, 4.5);
+        model.levels_[idx] = float(level);
+        model.stdvs_[idx] = float(1.3 + jitter.uniform() * 1.2);
+        sum += level;
+    }
+    model.tableMean_ = float(sum / double(kNumKmers));
+
+    double var = 0.0;
+    for (float level : model.levels_) {
+        const double d = double(level) - model.tableMean_;
+        var += d * d;
+    }
+    model.tableStdv_ = float(std::sqrt(var / double(kNumKmers)));
+    return model;
+}
+
+std::vector<float>
+KmerModel::expectedSignalPa(const std::vector<genome::Base> &bases) const
+{
+    if (bases.size() < kK)
+        return {};
+    std::vector<float> out;
+    out.reserve(bases.size() - kK + 1);
+    std::size_t index = kmerIndex(bases, 0);
+    out.push_back(levels_[index]);
+    for (std::size_t i = kK; i < bases.size(); ++i) {
+        index = rollKmer(index, bases[i]);
+        out.push_back(levels_[index]);
+    }
+    return out;
+}
+
+void
+zNormalize(std::vector<float> &signal)
+{
+    if (signal.empty())
+        return;
+    double sum = 0.0;
+    for (float s : signal)
+        sum += s;
+    const double mu = sum / double(signal.size());
+    double var = 0.0;
+    for (float s : signal) {
+        const double d = double(s) - mu;
+        var += d * d;
+    }
+    double sigma = std::sqrt(var / double(signal.size()));
+    if (sigma <= 1e-12) {
+        warn("zNormalize: constant signal, leaving centred at zero");
+        sigma = 1.0;
+    }
+    for (float &s : signal)
+        s = float((double(s) - mu) / sigma);
+}
+
+} // namespace sf::pore

@@ -1,0 +1,99 @@
+#ifndef SF_PORE_KMER_MODEL_HPP
+#define SF_PORE_KMER_MODEL_HPP
+
+/**
+ * @file
+ * Nanopore k-mer current model.
+ *
+ * As a DNA strand translocates through an R9.4.1 pore, the measured
+ * ionic current is determined by the ~6 bases inside the pore at once
+ * (paper §4.1, Figure 7).  ONT publishes a 4096-entry table mapping
+ * each 6-mer to an expected current in picoamps.  That table is not
+ * redistributable, so this class synthesises an equivalent one: each
+ * base position inside the pore contributes a weighted offset (centre
+ * positions dominate, matching the real pore's sensing geometry) plus
+ * a deterministic per-k-mer perturbation.  Adjacent k-mers share five
+ * bases and therefore have correlated levels, just like the real model.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "genome/base.hpp"
+
+namespace sf::pore {
+
+/** Expected current profile for all k-mers of a fixed k. */
+class KmerModel
+{
+  public:
+    /** Number of bases sensed simultaneously. */
+    static constexpr std::size_t kK = 6;
+
+    /** Number of distinct k-mers (4^k). */
+    static constexpr std::size_t kNumKmers = 1u << (2 * kK);
+
+    /**
+     * Build the synthetic R9.4.1-style model.  Deterministic: the same
+     * table is produced on every call.
+     */
+    static KmerModel makeR941();
+
+    /** Expected current for k-mer @p index, in picoamps. */
+    float levelPa(std::size_t index) const { return levels_[index]; }
+
+    /** Current standard deviation for k-mer @p index, in picoamps. */
+    float stdvPa(std::size_t index) const { return stdvs_[index]; }
+
+    /**
+     * Pack k consecutive bases starting at @p bases[offset] into a
+     * k-mer index (base at offset is the most significant).
+     */
+    static std::size_t
+    kmerIndex(const std::vector<genome::Base> &bases, std::size_t offset)
+    {
+        std::size_t index = 0;
+        for (std::size_t i = 0; i < kK; ++i)
+            index = (index << 2) | genome::baseCode(bases[offset + i]);
+        return index;
+    }
+
+    /** Shift base @p b into k-mer index @p index (rolling update). */
+    static std::size_t
+    rollKmer(std::size_t index, genome::Base b)
+    {
+        return ((index << 2) | genome::baseCode(b)) & (kNumKmers - 1);
+    }
+
+    /**
+     * Expected current profile of a base sequence: one level per k-mer
+     * window, length size()-k+1 (empty when fewer than k bases).
+     */
+    std::vector<float>
+    expectedSignalPa(const std::vector<genome::Base> &bases) const;
+
+    /** Mean of all table levels, in picoamps. */
+    float tableMeanPa() const { return tableMean_; }
+
+    /** Standard deviation of all table levels, in picoamps. */
+    float tableStdvPa() const { return tableStdv_; }
+
+  private:
+    KmerModel() = default;
+
+    std::vector<float> levels_;
+    std::vector<float> stdvs_;
+    float tableMean_ = 0.0f;
+    float tableStdv_ = 0.0f;
+};
+
+/**
+ * Z-normalise a signal in place using its own mean and standard
+ * deviation (the reference-squiggle normalisation of §4.1).
+ */
+void zNormalize(std::vector<float> &signal);
+
+} // namespace sf::pore
+
+#endif // SF_PORE_KMER_MODEL_HPP

@@ -1,0 +1,39 @@
+#include "pore/reference_squiggle.hpp"
+
+#include "common/fixed.hpp"
+#include "common/logging.hpp"
+
+namespace sf::pore {
+
+ReferenceSquiggle::ReferenceSquiggle(const genome::Genome &reference,
+                                     const KmerModel &model,
+                                     bool both_strands)
+    : referenceBases_(reference.size()), referenceName_(reference.name())
+{
+    if (reference.size() < KmerModel::kK) {
+        fatal("reference '%s' shorter than k=%zu",
+              reference.name().c_str(), KmerModel::kK);
+    }
+    if (reference.size() > 100000) {
+        warn("reference '%s' is %zu bases; the filter targets genomes "
+             "under 100k bases (paper §4.4)",
+             reference.name().c_str(), reference.size());
+    }
+
+    floats_ = model.expectedSignalPa(reference.bases());
+    strandBoundary_ = floats_.size();
+    if (both_strands) {
+        const auto rc = genome::reverseComplement(reference.bases());
+        const auto rc_signal = model.expectedSignalPa(rc);
+        floats_.insert(floats_.end(), rc_signal.begin(), rc_signal.end());
+    }
+
+    // Normalise over the full profile so both strands share one scale,
+    // then quantise to the hardware grid.
+    zNormalize(floats_);
+    quantized_.reserve(floats_.size());
+    for (float f : floats_)
+        quantized_.push_back(quantizeNorm(f));
+}
+
+} // namespace sf::pore

@@ -1,0 +1,75 @@
+#ifndef SF_PORE_REFERENCE_SQUIGGLE_HPP
+#define SF_PORE_REFERENCE_SQUIGGLE_HPP
+
+/**
+ * @file
+ * Precomputed reference squiggle (paper §4.1).
+ *
+ * Before any reads are processed, the target virus's reference genome
+ * is converted to its expected current profile via the k-mer model,
+ * z-normalised, and quantised to the hardware's 8-bit grid.  Reads may
+ * originate from either strand, so the profile covers the forward
+ * strand followed by the reverse complement — this is why the paper
+ * quotes "~2R cycles" per classification.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "genome/genome.hpp"
+#include "pore/kmer_model.hpp"
+
+namespace sf::pore {
+
+/** Normalised, quantised expected-signal profile of a reference. */
+class ReferenceSquiggle
+{
+  public:
+    ReferenceSquiggle() = default;
+
+    /**
+     * Build the profile for @p reference.
+     * @param reference target genome (< 100 kb single-stranded per §4.4)
+     * @param model pore current model
+     * @param both_strands include the reverse-complement strand
+     */
+    ReferenceSquiggle(const genome::Genome &reference,
+                      const KmerModel &model, bool both_strands = true);
+
+    /** Number of reference samples (both strands when enabled). */
+    std::size_t size() const { return quantized_.size(); }
+
+    /** Quantised Q2.5 profile consumed by the filter / accelerator. */
+    const std::vector<NormSample> &samples() const { return quantized_; }
+
+    /** Float profile prior to quantisation (for accuracy studies). */
+    const std::vector<float> &floatSamples() const { return floats_; }
+
+    /**
+     * Index of the first reverse-complement sample, equal to size()
+     * when only the forward strand is present.
+     */
+    std::size_t strandBoundary() const { return strandBoundary_; }
+
+    /** True when the reverse-complement strand is included. */
+    bool bothStrands() const { return strandBoundary_ < size(); }
+
+    /** Name of the genome this profile was built from. */
+    const std::string &referenceName() const { return referenceName_; }
+
+    /** Length in bases of the genome this profile was built from. */
+    std::size_t referenceBases() const { return referenceBases_; }
+
+  private:
+    std::vector<NormSample> quantized_;
+    std::vector<float> floats_;
+    std::size_t strandBoundary_ = 0;
+    std::size_t referenceBases_ = 0;
+    std::string referenceName_;
+};
+
+} // namespace sf::pore
+
+#endif // SF_PORE_REFERENCE_SQUIGGLE_HPP

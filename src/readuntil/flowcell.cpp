@@ -1,0 +1,55 @@
+#include "readuntil/flowcell.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace sf::readuntil {
+
+std::vector<ChannelSample>
+simulateFlowcellWear(FlowcellWearParams params)
+{
+    if (params.initialChannels < 1 || params.stepHours <= 0.0)
+        fatal("invalid flow-cell wear parameters");
+
+    Rng rng(params.seed);
+    double control = params.initialChannels;
+    double read_until = params.initialChannels;
+    bool washed = false;
+
+    std::vector<ChannelSample> trace;
+    for (double hour = 0.0; hour <= params.runHours + 1e-9;
+         hour += params.stepHours) {
+        trace.push_back({hour, int(std::lround(control)),
+                         int(std::lround(read_until))});
+
+        // Wash + re-mux: both runs recover the same fraction of dead
+        // pores, which is the Figure 20 observation — Read Until did
+        // not damage the flow cell any more than normal sequencing.
+        if (!washed && hour + params.stepHours > params.washHour) {
+            control += params.remuxRecovery *
+                       (params.initialChannels - control);
+            read_until += params.remuxRecovery *
+                          (params.initialChannels - read_until);
+            washed = true;
+        }
+
+        // Exponential decay with small stochastic jitter.
+        const double dt = params.stepHours;
+        const double control_decay =
+            std::exp(-params.deathRatePerHour * dt);
+        const double ru_decay = std::exp(-params.deathRatePerHour *
+                                         params.readUntilWearFactor * dt);
+        control *= control_decay * (1.0 + rng.gaussian(0.0, 0.004));
+        read_until *= ru_decay * (1.0 + rng.gaussian(0.0, 0.004));
+        control = std::clamp(control, 0.0,
+                             double(params.initialChannels));
+        read_until = std::clamp(read_until, 0.0,
+                                double(params.initialChannels));
+    }
+    return trace;
+}
+
+} // namespace sf::readuntil

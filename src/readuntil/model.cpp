@@ -1,0 +1,123 @@
+#include "readuntil/model.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace sf::readuntil {
+
+ReadUntilModel::ReadUntilModel(SequencingParams params)
+    : params_(params)
+{
+    if (params_.channels < 1 || params_.genomeBases <= 0.0 ||
+        params_.coverage <= 0.0) {
+        fatal("invalid sequencing parameters");
+    }
+    if (params_.targetFraction < 0.0 || params_.targetFraction > 1.0)
+        fatal("target fraction %f out of [0,1]", params_.targetFraction);
+}
+
+double
+ReadUntilModel::slotSeconds(bool read_until, const ClassifierParams &c,
+                            double &useful_bases,
+                            double &read_bases) const
+{
+    // Throughput scaling models denser future flow cells: both the
+    // sample rate and translocation throughput grow, so per-read
+    // sequencing time shrinks proportionally.
+    const double base_rate =
+        params_.basesPerSecond * params_.throughputScale;
+    const double sample_rate =
+        params_.sampleRateHz * params_.throughputScale;
+
+    const double p = params_.targetFraction;
+    const double t_len = params_.targetReadBases;
+    const double b_len = params_.backgroundReadBases;
+
+    const double t_full = t_len / base_rate;
+    const double b_full = b_len / base_rate;
+    const double decide =
+        c.prefixSamples / sample_rate + c.decisionLatencySec;
+
+    if (!read_until) {
+        useful_bases = p * t_len;
+        read_bases = p * t_len + (1.0 - p) * b_len;
+        return params_.captureTimeSec + p * t_full + (1.0 - p) * b_full;
+    }
+
+    // Reads shorter than the decision point are sequenced in full
+    // regardless; approximate by capping the decision time at the
+    // read's own duration.
+    const double t_decide = std::min(decide, t_full);
+    const double b_decide = std::min(decide, b_full);
+
+    double slot = params_.captureTimeSec;
+    double useful = 0.0;
+    double bases = 0.0;
+
+    // Target kept: sequence fully (decision time is part of the read).
+    slot += p * c.tpr * t_full;
+    useful += p * c.tpr * t_len;
+    bases += p * c.tpr * t_len;
+    // Target falsely ejected: decision time + ejection, read lost.
+    slot += p * (1.0 - c.tpr) * (t_decide + params_.ejectTimeSec);
+    bases += p * (1.0 - c.tpr) * t_decide * base_rate;
+    // Non-target falsely kept: full background read wasted.
+    slot += (1.0 - p) * c.fpr * b_full;
+    bases += (1.0 - p) * c.fpr * b_len;
+    // Non-target ejected: the Read Until win.
+    slot += (1.0 - p) * (1.0 - c.fpr) *
+            (b_decide + params_.ejectTimeSec);
+    bases += (1.0 - p) * (1.0 - c.fpr) * b_decide * base_rate;
+
+    useful_bases = useful;
+    read_bases = bases;
+    return slot;
+}
+
+RuntimeEstimate
+ReadUntilModel::withoutReadUntil() const
+{
+    ClassifierParams none;
+    double useful = 0.0, bases = 0.0;
+    const double slot = slotSeconds(false, none, useful, bases);
+
+    RuntimeEstimate est;
+    est.targetBasesPerSec = useful / slot * params_.channels;
+    est.sequencedBasesPerSec = bases / slot * params_.channels;
+    est.hours = params_.coverage * params_.genomeBases /
+                est.targetBasesPerSec / 3600.0;
+    est.enrichment = 1.0;
+    return est;
+}
+
+RuntimeEstimate
+ReadUntilModel::withReadUntil(const ClassifierParams &c) const
+{
+    const double f = std::clamp(c.channelCoverage, 0.0, 1.0);
+
+    double ru_useful = 0.0, ru_bases = 0.0;
+    const double ru_slot = slotSeconds(true, c, ru_useful, ru_bases);
+    double plain_useful = 0.0, plain_bases = 0.0;
+    const double plain_slot =
+        slotSeconds(false, c, plain_useful, plain_bases);
+
+    // Channels the classifier cannot serve run without Read Until.
+    const double useful_rate =
+        params_.channels * (f * ru_useful / ru_slot +
+                            (1.0 - f) * plain_useful / plain_slot);
+    const double bases_rate =
+        params_.channels * (f * ru_bases / ru_slot +
+                            (1.0 - f) * plain_bases / plain_slot);
+
+    RuntimeEstimate est;
+    est.targetBasesPerSec = useful_rate;
+    est.sequencedBasesPerSec = bases_rate;
+    est.hours = params_.coverage * params_.genomeBases / useful_rate /
+                3600.0;
+    const auto baseline = withoutReadUntil();
+    est.enrichment = baseline.hours / est.hours;
+    return est;
+}
+
+} // namespace sf::readuntil

@@ -1,0 +1,86 @@
+#ifndef SF_READUNTIL_MODEL_HPP
+#define SF_READUNTIL_MODEL_HPP
+
+/**
+ * @file
+ * Analytical Read Until sequencing-runtime model (paper §6).
+ *
+ * Estimates the wall-clock time to reach a coverage target for a
+ * given specimen composition and classifier operating point.  This is
+ * the model behind Figures 17b/c, 20 and 21 and the sequencing rows
+ * of Table 1.  Cross-validated against the discrete-event simulation
+ * in sequencer.hpp by integration tests.
+ */
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace sf::readuntil {
+
+/** Sequencer and specimen parameters. */
+struct SequencingParams
+{
+    int channels = 512;              //!< active pores
+    double sampleRateHz = 4000.0;    //!< per-pore sample rate
+    double basesPerSecond = 450.0;   //!< translocation speed
+    double captureTimeSec = 1.0;     //!< mean strand capture delay
+    double ejectTimeSec = 0.5;       //!< pore-reversal overhead
+    double targetFraction = 0.01;    //!< viral share of reads
+    double targetReadBases = 1800.0; //!< mean target read length
+    double backgroundReadBases = 6000.0; //!< mean non-target length
+    double genomeBases = 29903.0;    //!< target genome size
+    double coverage = 30.0;          //!< assembly coverage goal
+    /** Throughput scale vs today's MinION (Figure 21 x-axis). */
+    double throughputScale = 1.0;
+};
+
+/** Classifier operating point plugged into the model. */
+struct ClassifierParams
+{
+    double tpr = 1.0;           //!< targets kept
+    double fpr = 0.0;           //!< non-targets mistakenly kept
+    double prefixSamples = 2000; //!< samples sequenced before deciding
+    double decisionLatencySec = 0.0; //!< compute latency per decision
+    /**
+     * Fraction of channels the classifier can serve in real time
+     * (Figure 21): pores beyond this sequence everything in full.
+     */
+    double channelCoverage = 1.0;
+};
+
+/** Derived expectations for one operating point. */
+struct RuntimeEstimate
+{
+    double hours = 0.0;            //!< time to the coverage target
+    double targetBasesPerSec = 0.0; //!< useful output, all channels
+    double sequencedBasesPerSec = 0.0; //!< total bases read (cost)
+    double enrichment = 1.0;       //!< useful fraction vs no Read Until
+};
+
+/** Analytical model of §6. */
+class ReadUntilModel
+{
+  public:
+    explicit ReadUntilModel(SequencingParams params);
+
+    /** Runtime without Read Until (every read sequenced fully). */
+    RuntimeEstimate withoutReadUntil() const;
+
+    /** Runtime with Read Until at the given operating point. */
+    RuntimeEstimate withReadUntil(const ClassifierParams &c) const;
+
+    /** The sequencing parameters in effect. */
+    const SequencingParams &params() const { return params_; }
+
+  private:
+    /** Mean channel-seconds consumed per captured read. */
+    double slotSeconds(bool read_until, const ClassifierParams &c,
+                       double &useful_bases, double &read_bases) const;
+
+    SequencingParams params_;
+};
+
+} // namespace sf::readuntil
+
+#endif // SF_READUNTIL_MODEL_HPP

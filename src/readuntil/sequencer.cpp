@@ -1,0 +1,116 @@
+#include "readuntil/sequencer.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace sf::readuntil {
+
+SequencerSim::SequencerSim(SequencingParams params, std::uint64_t seed)
+    : params_(params), seed_(seed)
+{
+    if (params_.channels < 1)
+        fatal("sequencer simulation needs at least one channel");
+}
+
+SimulationResult
+SequencerSim::runWithoutReadUntil(double max_hours)
+{
+    return run(nullptr, max_hours);
+}
+
+SimulationResult
+SequencerSim::runWithReadUntil(const ClassifierParams &classifier,
+                               double max_hours)
+{
+    return run(&classifier, max_hours);
+}
+
+SimulationResult
+SequencerSim::run(const ClassifierParams *classifier, double max_hours)
+{
+    Rng rng(seed_);
+    const double base_rate =
+        params_.basesPerSecond * params_.throughputScale;
+    const double sample_rate =
+        params_.sampleRateHz * params_.throughputScale;
+    const double goal = params_.coverage * params_.genomeBases;
+    const double max_seconds = max_hours * 3600.0;
+
+    // Channels below the classifier's real-time capacity use Read
+    // Until; the rest sequence everything (Figure 21).
+    int ru_channels = 0;
+    if (classifier != nullptr) {
+        ru_channels = int(std::clamp(classifier->channelCoverage, 0.0,
+                                     1.0) *
+                          params_.channels);
+    }
+
+    using Event = std::pair<double, int>; // (free-at time, channel)
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap;
+    for (int ch = 0; ch < params_.channels; ++ch)
+        heap.push({rng.exponential(params_.captureTimeSec), ch});
+
+    SimulationResult result;
+    double now = 0.0;
+    while (!heap.empty()) {
+        const auto [time, channel] = heap.top();
+        heap.pop();
+        now = time;
+        if (now > max_seconds) {
+            result.hours = max_hours;
+            return result;
+        }
+
+        // A read is captured on this channel at `now`.
+        ++result.readsCaptured;
+        const bool is_target = rng.bernoulli(params_.targetFraction);
+        const double mean_len = is_target ? params_.targetReadBases
+                                          : params_.backgroundReadBases;
+        const double len = std::max(200.0, rng.exponential(mean_len));
+        const double full_time = len / base_rate;
+
+        double busy = 0.0;
+        const bool use_ru =
+            classifier != nullptr && channel < ru_channels;
+        bool sequenced_fully = true;
+        if (use_ru) {
+            const double decide =
+                classifier->prefixSamples / sample_rate +
+                classifier->decisionLatencySec;
+            if (decide < full_time) {
+                const bool keep = is_target
+                                      ? rng.bernoulli(classifier->tpr)
+                                      : rng.bernoulli(classifier->fpr);
+                if (!keep) {
+                    sequenced_fully = false;
+                    busy = decide + params_.ejectTimeSec;
+                    result.sequencedBases += decide * base_rate;
+                    ++result.readsEjected;
+                    if (is_target)
+                        ++result.targetsLost;
+                }
+            }
+        }
+        if (sequenced_fully) {
+            busy = full_time;
+            result.sequencedBases += len;
+            if (is_target)
+                result.targetBases += len;
+        }
+
+        if (result.targetBases >= goal) {
+            result.hours = now / 3600.0;
+            result.reachedCoverage = true;
+            return result;
+        }
+        heap.push({now + busy + rng.exponential(params_.captureTimeSec),
+                   channel});
+    }
+    result.hours = max_hours;
+    return result;
+}
+
+} // namespace sf::readuntil

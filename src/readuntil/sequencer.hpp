@@ -1,0 +1,69 @@
+#ifndef SF_READUNTIL_SEQUENCER_HPP
+#define SF_READUNTIL_SEQUENCER_HPP
+
+/**
+ * @file
+ * Discrete-event simulation of a multi-channel nanopore sequencer
+ * with Read Until ejection.
+ *
+ * Each channel cycles through capture -> sequence -> (decision) ->
+ * complete/eject.  Read lengths and capture delays are stochastic;
+ * classification outcomes are drawn from the plugged-in operating
+ * point (TPR/FPR), exactly the quantities measured on real classifier
+ * runs.  Used to validate the analytical model and to generate the
+ * run-to-coverage results of Figure 17 and the wear traces behind
+ * Figure 20.
+ */
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "readuntil/model.hpp"
+
+namespace sf::readuntil {
+
+/** Aggregate outcome of one simulated sequencing run. */
+struct SimulationResult
+{
+    double hours = 0.0;             //!< time to the coverage target
+    std::uint64_t readsCaptured = 0;
+    std::uint64_t readsEjected = 0;
+    std::uint64_t targetsLost = 0;  //!< targets falsely ejected
+    double targetBases = 0.0;       //!< useful bases accumulated
+    double sequencedBases = 0.0;    //!< all bases actually read
+    bool reachedCoverage = false;
+};
+
+/** Discrete-event Read Until sequencer simulation. */
+class SequencerSim
+{
+  public:
+    /**
+     * @param params sequencer/specimen parameters (shared with the
+     *        analytical model)
+     * @param seed RNG seed; runs are deterministic per seed
+     */
+    SequencerSim(SequencingParams params, std::uint64_t seed = 1234);
+
+    /**
+     * Run without Read Until until the coverage target or @p max_hours
+     * elapses.
+     */
+    SimulationResult runWithoutReadUntil(double max_hours = 1e4);
+
+    /** Run with Read Until at the given classifier operating point. */
+    SimulationResult runWithReadUntil(const ClassifierParams &classifier,
+                                      double max_hours = 1e4);
+
+  private:
+    SimulationResult run(const ClassifierParams *classifier,
+                         double max_hours);
+
+    SequencingParams params_;
+    std::uint64_t seed_;
+};
+
+} // namespace sf::readuntil
+
+#endif // SF_READUNTIL_SEQUENCER_HPP

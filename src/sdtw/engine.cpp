@@ -1,0 +1,226 @@
+#include "sdtw/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <type_traits>
+
+#include "common/logging.hpp"
+
+namespace sf::sdtw {
+
+std::string
+SdtwConfig::describe() const
+{
+    std::string out;
+    out += metric == CostMetric::SquaredDifference ? "sq" : "abs";
+    out += allowReferenceDeletion ? "+refdel" : "+norefdel";
+    if (matchBonus > 0.0) {
+        out += "+bonus";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%g", matchBonus);
+        out += buf;
+    }
+    return out;
+}
+
+SdtwConfig
+vanillaConfig()
+{
+    SdtwConfig config;
+    config.metric = CostMetric::SquaredDifference;
+    config.allowReferenceDeletion = true;
+    config.matchBonus = 0.0;
+    return config;
+}
+
+SdtwConfig
+hardwareConfig()
+{
+    SdtwConfig config;
+    config.metric = CostMetric::AbsoluteDifference;
+    config.allowReferenceDeletion = false;
+    config.matchBonus = 2.0;
+    config.dwellCap = 10;
+    return config;
+}
+
+namespace {
+
+/** Saturating/clamped arithmetic shared by both cost domains. */
+template <typename CostT>
+CostT
+addCost(CostT a, CostT b)
+{
+    if constexpr (std::is_floating_point_v<CostT>)
+        return a + b;
+    else
+        return satAdd(a, b);
+}
+
+template <typename CostT>
+CostT
+subCostClamped(CostT a, CostT b)
+{
+    if constexpr (std::is_floating_point_v<CostT>)
+        return a > b ? a - b : CostT(0);
+    else
+        return satSub(a, b);
+}
+
+} // namespace
+
+template <typename Sample, typename CostT>
+SdtwEngine<Sample, CostT>::SdtwEngine(SdtwConfig config)
+    : config_(config)
+{
+    if (config_.dwellCap < 1 || config_.dwellCap > 255)
+        fatal("sDTW dwell cap %d out of [1, 255]", config_.dwellCap);
+    if (config_.matchBonus < 0.0)
+        fatal("sDTW match bonus must be non-negative");
+    if constexpr (std::is_floating_point_v<CostT>)
+        bonusUnit_ = CostT(config_.matchBonus);
+    else
+        bonusUnit_ = CostT(std::llround(config_.matchBonus));
+}
+
+template <typename Sample, typename CostT>
+CostT
+SdtwEngine<Sample, CostT>::pointCost(Sample q, Sample r) const
+{
+    if constexpr (std::is_floating_point_v<CostT>) {
+        const double diff = double(q) - double(r);
+        return config_.metric == CostMetric::AbsoluteDifference
+                   ? CostT(std::abs(diff))
+                   : CostT(diff * diff);
+    } else {
+        // Widen before subtracting so int8 differences cannot overflow;
+        // stay in integers so the inner loop vectorises.
+        const int diff = int(q) - int(r);
+        const int ad = diff < 0 ? -diff : diff;
+        return config_.metric == CostMetric::AbsoluteDifference
+                   ? CostT(ad)
+                   : CostT(ad) * CostT(ad);
+    }
+}
+
+template <typename Sample, typename CostT>
+typename SdtwEngine<Sample, CostT>::Result
+SdtwEngine<Sample, CostT>::process(std::span<const Sample> query_chunk,
+                                   std::span<const Sample> reference,
+                                   State &state) const
+{
+    const std::size_t m = reference.size();
+    if (m == 0)
+        fatal("sDTW reference must be non-empty");
+    if (!state.empty() && state.row.size() != m) {
+        fatal("sDTW state row length %zu does not match reference %zu",
+              state.row.size(), m);
+    }
+    if (state.empty() && query_chunk.empty())
+        fatal("sDTW requires at least one query sample");
+
+    const auto cap = std::uint8_t(config_.dwellCap);
+    const bool use_bonus = config_.matchBonus > 0.0;
+
+    std::size_t i = 0;
+    if (state.empty() && !query_chunk.empty()) {
+        // Fresh start: subsequence free-start row.
+        state.row.resize(m);
+        state.dwell.assign(m, 1);
+        for (std::size_t j = 0; j < m; ++j)
+            state.row[j] = pointCost(query_chunk[0], reference[j]);
+        state.rowsDone = 1;
+        i = 1;
+    }
+
+    std::vector<CostT> next(m);
+    std::vector<std::uint8_t> next_dwell(m);
+    for (; i < query_chunk.size(); ++i) {
+        const Sample q = query_chunk[i];
+
+        // First column: only the vertical predecessor exists.
+        next[0] = addCost(state.row[0], pointCost(q, reference[0]));
+        next_dwell[0] = std::uint8_t(
+            std::min<int>(state.dwell[0] + 1, cap));
+
+        if (!config_.allowReferenceDeletion) {
+            // Without reference deletions next[j] depends only on the
+            // previous row, so this loop is branchless and carries no
+            // dependency — the compiler can vectorise it.
+            const CostT *row = state.row.data();
+            const std::uint8_t *dw = state.dwell.data();
+            const CostT bonus = use_bonus ? bonusUnit_ : CostT(0);
+            for (std::size_t j = 1; j < m; ++j) {
+                // Dwell counters are stored pre-capped, so the reward
+                // is a plain multiply.
+                const CostT reward = bonus * CostT(dw[j - 1]);
+                const CostT diag = subCostClamped(row[j - 1], reward);
+                const CostT vert = row[j];
+                const bool take_diag = diag <= vert;
+                const CostT best = take_diag ? diag : vert;
+                const auto bumped =
+                    std::uint8_t(dw[j] < cap ? dw[j] + 1 : cap);
+                next[j] = addCost(best, pointCost(q, reference[j]));
+                next_dwell[j] = take_diag ? std::uint8_t(1) : bumped;
+            }
+        } else {
+            for (std::size_t j = 1; j < m; ++j) {
+                CostT diag = state.row[j - 1];
+                if (use_bonus) {
+                    const CostT reward = CostT(
+                        bonusUnit_ *
+                        CostT(std::min(state.dwell[j - 1], cap)));
+                    diag = subCostClamped(diag, reward);
+                }
+                const CostT vert = state.row[j];
+
+                CostT best;
+                std::uint8_t dwell;
+                if (diag <= vert) {
+                    best = diag;
+                    dwell = 1;
+                } else {
+                    best = vert;
+                    dwell = std::uint8_t(
+                        std::min<int>(state.dwell[j] + 1, cap));
+                }
+                if (next[j - 1] < best) {
+                    best = next[j - 1];
+                    dwell = 1;
+                }
+                next[j] = addCost(best, pointCost(q, reference[j]));
+                next_dwell[j] = dwell;
+            }
+        }
+        state.row.swap(next);
+        state.dwell.swap(next_dwell);
+        ++state.rowsDone;
+    }
+
+    Result result;
+    result.rows = state.rowsDone;
+    result.cost = state.row[0];
+    result.refEnd = 0;
+    for (std::size_t j = 1; j < m; ++j) {
+        if (state.row[j] < result.cost) {
+            result.cost = state.row[j];
+            result.refEnd = j;
+        }
+    }
+    return result;
+}
+
+template <typename Sample, typename CostT>
+typename SdtwEngine<Sample, CostT>::Result
+SdtwEngine<Sample, CostT>::align(std::span<const Sample> query,
+                                 std::span<const Sample> reference) const
+{
+    State state;
+    return process(query, reference, state);
+}
+
+template class SdtwEngine<float, double>;
+template class SdtwEngine<NormSample, Cost>;
+
+} // namespace sf::sdtw

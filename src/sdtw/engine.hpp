@@ -1,0 +1,106 @@
+#ifndef SF_SDTW_ENGINE_HPP
+#define SF_SDTW_ENGINE_HPP
+
+/**
+ * @file
+ * Production sDTW engines with O(M) memory and chunked execution.
+ *
+ * Two instantiations of one DP core:
+ *  - FloatSdtw: double-precision costs over z-normalised float samples
+ *    (the "software analysis" configuration, used for ablation rows
+ *    that keep floating-point normalisation);
+ *  - QuantSdtw: Q2.5 int8 samples with saturating 32-bit costs — the
+ *    exact arithmetic the hardware implements.  sf::hw::SystolicArray
+ *    must match this engine bit-for-bit (enforced by property tests).
+ *
+ * Chunked execution (process() with an explicit State) models the
+ * multi-stage filter of §4.6/§5.1: after each 2000-sample chunk the
+ * last DP row and dwell counters are checkpointed (in hardware:
+ * written to DRAM) and can seed the next chunk.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/fixed.hpp"
+#include "common/types.hpp"
+#include "sdtw/config.hpp"
+
+namespace sf::sdtw {
+
+/** Outcome of aligning a query (or query chunk) to the reference. */
+template <typename CostT>
+struct AlignResult
+{
+    CostT cost{};           //!< min over the final DP row
+    std::size_t refEnd = 0; //!< argmin reference index (alignment end)
+    std::size_t rows = 0;   //!< total query samples folded in so far
+};
+
+/**
+ * Resumable DP state: the last computed row and its dwell counters.
+ * An empty state means "fresh start" (subsequence free-start row).
+ */
+template <typename CostT>
+struct SdtwState
+{
+    std::vector<CostT> row;        //!< S[i_last][*], length M
+    std::vector<std::uint8_t> dwell; //!< capped dwell per column
+    std::size_t rowsDone = 0;      //!< query samples consumed
+
+    bool empty() const { return rowsDone == 0; }
+    void reset() { row.clear(); dwell.clear(); rowsDone = 0; }
+};
+
+/**
+ * Row-rolling sDTW engine.
+ *
+ * @tparam Sample input sample type (float or NormSample)
+ * @tparam CostT accumulator type (double or Cost); unsigned CostT
+ *               saturates instead of wrapping
+ */
+template <typename Sample, typename CostT>
+class SdtwEngine
+{
+  public:
+    using Result = AlignResult<CostT>;
+    using State = SdtwState<CostT>;
+
+    explicit SdtwEngine(SdtwConfig config);
+
+    /** One-shot alignment of a complete query. */
+    Result align(std::span<const Sample> query,
+                 std::span<const Sample> reference) const;
+
+    /**
+     * Fold a further chunk of query samples into @p state (which must
+     * be empty or produced by a previous process() call against a
+     * reference of the same length).
+     */
+    Result process(std::span<const Sample> query_chunk,
+                   std::span<const Sample> reference,
+                   State &state) const;
+
+    /** The configuration in effect. */
+    const SdtwConfig &config() const { return config_; }
+
+  private:
+    CostT pointCost(Sample q, Sample r) const;
+
+    SdtwConfig config_;
+    CostT bonusUnit_{}; //!< matchBonus converted to CostT
+};
+
+/** Float-domain research engine. */
+using FloatSdtw = SdtwEngine<float, double>;
+
+/** Hardware-exact quantised engine (Q2.5 samples, saturating cost). */
+using QuantSdtw = SdtwEngine<NormSample, Cost>;
+
+extern template class SdtwEngine<float, double>;
+extern template class SdtwEngine<NormSample, Cost>;
+
+} // namespace sf::sdtw
+
+#endif // SF_SDTW_ENGINE_HPP

@@ -1,0 +1,108 @@
+#include "sdtw/filter.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace sf::sdtw {
+
+SquiggleFilterClassifier::SquiggleFilterClassifier(
+    const pore::ReferenceSquiggle &reference, SdtwConfig config)
+    : reference_(reference), engine_(config)
+{
+    if (reference_.size() == 0)
+        fatal("SquiggleFilterClassifier requires a non-empty reference");
+    // Default schedule: single 2000-sample stage; the threshold must
+    // be calibrated by the caller before classify() is meaningful.
+    stages_ = {FilterStage{2000, kCostMax}};
+}
+
+void
+SquiggleFilterClassifier::setStages(std::vector<FilterStage> stages)
+{
+    if (stages.empty())
+        fatal("filter needs at least one stage");
+    for (std::size_t s = 1; s < stages.size(); ++s) {
+        if (stages[s].prefixSamples <= stages[s - 1].prefixSamples)
+            fatal("filter stage prefixes must be strictly increasing");
+    }
+    stages_ = std::move(stages);
+}
+
+void
+SquiggleFilterClassifier::setSingleStage(std::size_t prefix_samples,
+                                         Cost threshold)
+{
+    setStages({FilterStage{prefix_samples, threshold}});
+}
+
+Classification
+SquiggleFilterClassifier::classify(std::span<const RawSample> raw) const
+{
+    Classification result;
+    if (raw.empty()) {
+        // Nothing measured yet: keep sequencing, no evidence either way.
+        result.keep = true;
+        return result;
+    }
+
+    MeanMadNormalizer normalizer;
+    QuantSdtw::State state;
+    const auto ref = std::span<const NormSample>(reference_.samples());
+
+    std::size_t consumed = 0;
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+        const FilterStage &stage = stages_[s];
+        const std::size_t want = std::min(stage.prefixSamples, raw.size());
+        const bool truncated = want < stage.prefixSamples;
+
+        if (want > consumed) {
+            const auto chunk = raw.subspan(consumed, want - consumed);
+            const auto normalized = normalizer.normalizeChunk(chunk);
+            const auto aligned = engine_.process(
+                std::span<const NormSample>(normalized.samples), ref,
+                state);
+            result.cost = aligned.cost;
+            result.refEnd = aligned.refEnd;
+            consumed = want;
+        }
+        result.samplesUsed = consumed;
+        result.stagesRun = s + 1;
+
+        // Reads shorter than the stage prefix accumulate
+        // proportionally less cost; scale the threshold to match.
+        Cost threshold = stage.threshold;
+        if (truncated && stage.prefixSamples > 0) {
+            threshold = Cost(double(stage.threshold) * double(consumed) /
+                             double(stage.prefixSamples));
+        }
+
+        const bool last = (s + 1 == stages_.size()) || truncated;
+        if (result.cost > threshold) {
+            result.keep = false;
+            return result;
+        }
+        if (last) {
+            result.keep = true;
+            return result;
+        }
+        // Passed an intermediate stage: sequence further samples.
+    }
+    result.keep = true;
+    return result;
+}
+
+QuantSdtw::Result
+SquiggleFilterClassifier::score(std::span<const RawSample> raw,
+                                std::size_t prefix_samples) const
+{
+    const std::size_t len = std::min(prefix_samples, raw.size());
+    if (len == 0)
+        fatal("score() needs at least one raw sample");
+    const auto normalized =
+        MeanMadNormalizer::normalize(raw.subspan(0, len));
+    return engine_.align(std::span<const NormSample>(normalized),
+                         std::span<const NormSample>(reference_.samples()));
+}
+
+} // namespace sf::sdtw

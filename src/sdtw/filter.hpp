@@ -1,0 +1,96 @@
+#ifndef SF_SDTW_FILTER_HPP
+#define SF_SDTW_FILTER_HPP
+
+/**
+ * @file
+ * The SquiggleFilter read classifier (paper §4.5, §4.6).
+ *
+ * Aligns a read's raw-signal prefix against the precomputed reference
+ * squiggle and ejects the read when the alignment cost exceeds a
+ * threshold.  Supports the optional multi-stage scheme: stage 1 looks
+ * at a short prefix with a permissive threshold (ejecting only clear
+ * non-targets early), later stages look at longer prefixes with
+ * aggressive thresholds, reusing the checkpointed DP state instead of
+ * recomputing.
+ */
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "pore/reference_squiggle.hpp"
+#include "sdtw/engine.hpp"
+#include "sdtw/normalizer.hpp"
+
+namespace sf::sdtw {
+
+/** One filtering stage: examine a prefix, compare against a threshold. */
+struct FilterStage
+{
+    std::size_t prefixSamples = 2000; //!< raw samples examined
+    Cost threshold = 0;               //!< eject when cost exceeds this
+};
+
+/** Outcome of classifying one read. */
+struct Classification
+{
+    bool keep = false;          //!< true: continue sequencing (target)
+    Cost cost = 0;              //!< final alignment cost
+    std::size_t refEnd = 0;     //!< best alignment end in the reference
+    std::size_t samplesUsed = 0;//!< raw samples consumed for the call
+    std::size_t stagesRun = 0;  //!< stages evaluated before deciding
+};
+
+/** Squiggle-space Read Until classifier. */
+class SquiggleFilterClassifier
+{
+  public:
+    /**
+     * @param reference precomputed reference squiggle (both strands)
+     * @param config DP recurrence switches (defaults to the hardware
+     *        configuration of §4.7)
+     */
+    explicit SquiggleFilterClassifier(
+        const pore::ReferenceSquiggle &reference,
+        SdtwConfig config = hardwareConfig());
+
+    /**
+     * Install the stage schedule.  Prefix lengths must be strictly
+     * increasing; the final stage's threshold decides keep-vs-eject,
+     * earlier thresholds only eject.
+     */
+    void setStages(std::vector<FilterStage> stages);
+
+    /** Convenience: single-stage filtering. */
+    void setSingleStage(std::size_t prefix_samples, Cost threshold);
+
+    /** Classify a read from its raw signal. */
+    Classification classify(std::span<const RawSample> raw) const;
+
+    /**
+     * Alignment cost of the first @p prefix_samples of @p raw without
+     * any thresholding (used for calibration and the cost-distribution
+     * experiments).
+     */
+    QuantSdtw::Result score(std::span<const RawSample> raw,
+                            std::size_t prefix_samples) const;
+
+    /** The installed stage schedule. */
+    const std::vector<FilterStage> &stages() const { return stages_; }
+
+    /** The DP configuration in effect. */
+    const SdtwConfig &config() const { return engine_.config(); }
+
+    /** The reference squiggle being filtered against. */
+    const pore::ReferenceSquiggle &reference() const { return reference_; }
+
+  private:
+    const pore::ReferenceSquiggle &reference_;
+    QuantSdtw engine_;
+    std::vector<FilterStage> stages_;
+};
+
+} // namespace sf::sdtw
+
+#endif // SF_SDTW_FILTER_HPP

@@ -1,0 +1,129 @@
+#include "sdtw/normalizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/fixed.hpp"
+#include "common/logging.hpp"
+
+namespace sf::sdtw {
+
+namespace {
+
+/** MAD -> sigma correction for Gaussian data: sqrt(pi/2). */
+constexpr double kMadToSigma = 1.2533141373155003;
+
+} // namespace
+
+std::vector<float>
+zNormalizeRaw(std::span<const RawSample> raw)
+{
+    std::vector<float> out(raw.size());
+    if (raw.empty())
+        return out;
+    double sum = 0.0;
+    for (RawSample x : raw)
+        sum += x;
+    const double mu = sum / double(raw.size());
+    double var = 0.0;
+    for (RawSample x : raw) {
+        const double d = double(x) - mu;
+        var += d * d;
+    }
+    double sigma = std::sqrt(var / double(raw.size()));
+    if (sigma < 1e-9)
+        sigma = 1.0;
+    for (std::size_t i = 0; i < raw.size(); ++i)
+        out[i] = float((double(raw[i]) - mu) / sigma);
+    return out;
+}
+
+std::vector<float>
+meanMadNormalizeRaw(std::span<const RawSample> raw)
+{
+    std::vector<float> out(raw.size());
+    if (raw.empty())
+        return out;
+    double sum = 0.0;
+    for (RawSample x : raw)
+        sum += x;
+    const double mu = sum / double(raw.size());
+    double dev = 0.0;
+    for (RawSample x : raw)
+        dev += std::abs(double(x) - mu);
+    double mad = dev / double(raw.size());
+    if (mad < 1e-9)
+        mad = 1.0;
+    const double scale = 1.0 / (mad * kMadToSigma);
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        const double z = (double(raw[i]) - mu) * scale;
+        out[i] = float(std::clamp(z, -kNormClamp, kNormClamp));
+    }
+    return out;
+}
+
+void
+MeanMadNormalizer::reset()
+{
+    sum_ = 0;
+    sumAbsDev_ = 0;
+    count_ = 0;
+}
+
+std::int32_t
+MeanMadNormalizer::currentMean() const
+{
+    return count_ ? std::int32_t(sum_ / count_) : 0;
+}
+
+std::int32_t
+MeanMadNormalizer::currentMad() const
+{
+    const auto mad = count_ ? std::int64_t(sumAbsDev_ / count_)
+                            : std::int64_t(0);
+    return std::int32_t(std::max<std::int64_t>(mad, 1));
+}
+
+NormalizedChunk
+MeanMadNormalizer::normalizeChunk(std::span<const RawSample> chunk)
+{
+    // Pass 1 (during query-buffer load in hardware): update the sum.
+    for (RawSample x : chunk)
+        sum_ += x;
+    count_ += chunk.size();
+
+    const std::int32_t mean = currentMean();
+
+    // Pass 2: accumulate deviations of the new chunk against the
+    // updated mean.  Earlier chunks contributed deviations against
+    // their contemporaneous means; the drift is negligible and the
+    // procedure is exactly what streaming hardware can afford.
+    for (RawSample x : chunk) {
+        const std::int64_t d = std::int64_t(x) - mean;
+        sumAbsDev_ += std::uint64_t(d < 0 ? -d : d);
+    }
+    const std::int32_t mad = currentMad();
+
+    NormalizedChunk out;
+    out.mean = mean;
+    out.mad = mad;
+    out.samples.reserve(chunk.size());
+    for (RawSample x : chunk) {
+        const std::int64_t num =
+            (std::int64_t(x) - mean) * kMadScaleNumerator;
+        // Hardware divider truncates toward zero, as C++ does.
+        const std::int64_t code = num / mad;
+        out.samples.push_back(NormSample(
+            std::clamp<std::int64_t>(code, -128, 127)));
+    }
+    return out;
+}
+
+std::vector<NormSample>
+MeanMadNormalizer::normalize(std::span<const RawSample> raw)
+{
+    MeanMadNormalizer normalizer;
+    return normalizer.normalizeChunk(raw).samples;
+}
+
+} // namespace sf::sdtw

@@ -1,0 +1,91 @@
+#ifndef SF_SDTW_NORMALIZER_HPP
+#define SF_SDTW_NORMALIZER_HPP
+
+/**
+ * @file
+ * Query-squiggle normalisation (paper §4.2, §5.3).
+ *
+ * Per-pore bias-voltage differences shift and scale the measured
+ * current, so each read must be normalised before alignment.  The
+ * hardware normaliser uses integer mean / mean-absolute-deviation
+ * (MAD) statistics — no square root, no floating point — and emits
+ * Q2.5 8-bit samples clamped to [-4, 4).
+ *
+ * The reference squiggle is z-normalised (mean/sigma).  For a Gaussian
+ * population MAD = sigma * sqrt(2/pi) ~= 0.7979 * sigma, so the
+ * hardware folds the correction into its output multiplier:
+ * code = (x - mean) * 26 / MAD, since 26/32 ~= 0.8125 ~= MAD/sigma.
+ * This keeps query and reference on a common scale using only an
+ * integer multiply and divide.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sf::sdtw {
+
+/** Numerator constant converting MAD units into Q2.5 z-scale codes. */
+inline constexpr std::int32_t kMadScaleNumerator = 26;
+
+/** Float z-normalisation (mean/sigma) of raw ADC samples. */
+std::vector<float> zNormalizeRaw(std::span<const RawSample> raw);
+
+/**
+ * Float mean/MAD normalisation with the sigma correction applied —
+ * the idealised (un-quantised) version of the hardware normaliser.
+ */
+std::vector<float> meanMadNormalizeRaw(std::span<const RawSample> raw);
+
+/** Output of one hardware normalisation pass. */
+struct NormalizedChunk
+{
+    std::vector<NormSample> samples; //!< Q2.5 codes
+    std::int32_t mean = 0;           //!< integer mean used
+    std::int32_t mad = 1;            //!< integer MAD used (>= 1)
+};
+
+/**
+ * Bit-exact software model of the hardware normaliser.
+ *
+ * Statistics accumulate cumulatively across chunks (the hardware
+ * "updates the mean and MAD after every n = 2000 samples"), so in
+ * multi-stage filtering later chunks are normalised with statistics
+ * over every sample seen so far.
+ */
+class MeanMadNormalizer
+{
+  public:
+    /** Discard accumulated statistics (new read). */
+    void reset();
+
+    /**
+     * Fold @p chunk into the running statistics, then normalise the
+     * chunk with the updated statistics.
+     */
+    NormalizedChunk normalizeChunk(std::span<const RawSample> chunk);
+
+    /** One-shot normalisation of a complete query prefix. */
+    static std::vector<NormSample>
+    normalize(std::span<const RawSample> raw);
+
+    /** Samples folded into the statistics so far. */
+    std::size_t totalSamples() const { return count_; }
+
+    /** Current integer mean (truncated division, as in hardware). */
+    std::int32_t currentMean() const;
+
+    /** Current integer MAD, floored at 1 to keep division defined. */
+    std::int32_t currentMad() const;
+
+  private:
+    std::uint64_t sum_ = 0;
+    std::uint64_t sumAbsDev_ = 0; //!< accumulated vs the running mean
+    std::size_t count_ = 0;
+};
+
+} // namespace sf::sdtw
+
+#endif // SF_SDTW_NORMALIZER_HPP

@@ -1,0 +1,83 @@
+#include "sdtw/threshold.hpp"
+
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+#include "sdtw/engine.hpp"
+#include "sdtw/normalizer.hpp"
+
+namespace sf::sdtw {
+
+std::vector<CostSample>
+collectCosts(const pore::ReferenceSquiggle &reference,
+             const std::vector<signal::ReadRecord> &reads,
+             std::size_t prefix_samples, const SdtwConfig &config,
+             EngineKind kind)
+{
+    if (prefix_samples == 0)
+        fatal("collectCosts needs a positive prefix length");
+
+    // Only reads long enough for the prefix keep costs comparable.
+    std::vector<const signal::ReadRecord *> eligible;
+    eligible.reserve(reads.size());
+    for (const auto &read : reads) {
+        if (read.raw.size() >= prefix_samples)
+            eligible.push_back(&read);
+    }
+
+    std::vector<CostSample> out(eligible.size());
+    if (kind == EngineKind::Quantized) {
+        const QuantSdtw engine(config);
+        const std::span<const NormSample> ref(reference.samples());
+        parallelFor(eligible.size(), [&](std::size_t i) {
+            const auto &read = *eligible[i];
+            const auto query = MeanMadNormalizer::normalize(
+                std::span<const RawSample>(read.raw)
+                    .subspan(0, prefix_samples));
+            const auto result =
+                engine.align(std::span<const NormSample>(query), ref);
+            out[i] = {double(result.cost), read.isTarget()};
+        });
+    } else {
+        const FloatSdtw engine(config);
+        const std::span<const float> ref(reference.floatSamples());
+        parallelFor(eligible.size(), [&](std::size_t i) {
+            const auto &read = *eligible[i];
+            const auto query = meanMadNormalizeRaw(
+                std::span<const RawSample>(read.raw)
+                    .subspan(0, prefix_samples));
+            const auto result =
+                engine.align(std::span<const float>(query), ref);
+            out[i] = {result.cost, read.isTarget()};
+        });
+    }
+    return out;
+}
+
+void
+splitCosts(const std::vector<CostSample> &samples,
+           std::vector<double> &target, std::vector<double> &decoy)
+{
+    target.clear();
+    decoy.clear();
+    for (const auto &sample : samples) {
+        (sample.isTarget ? target : decoy).push_back(sample.cost);
+    }
+}
+
+RocCurve
+sweepThresholds(const std::vector<CostSample> &samples, std::size_t steps)
+{
+    std::vector<double> target, decoy;
+    splitCosts(samples, target, decoy);
+    if (target.empty() || decoy.empty())
+        fatal("threshold sweep needs both target and decoy costs");
+    return {target, decoy, steps};
+}
+
+double
+bestF1Threshold(const std::vector<CostSample> &samples)
+{
+    return sweepThresholds(samples).bestF1().threshold;
+}
+
+} // namespace sf::sdtw

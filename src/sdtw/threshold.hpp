@@ -1,0 +1,62 @@
+#ifndef SF_SDTW_THRESHOLD_HPP
+#define SF_SDTW_THRESHOLD_HPP
+
+/**
+ * @file
+ * Threshold calibration and cost collection over labelled datasets.
+ *
+ * The paper selects ejection thresholds by sweeping the range of
+ * observed sDTW costs on a labelled run (Figure 17a) and picking the
+ * operating point that maximises F-score or minimises the modelled
+ * Read Until runtime.  These helpers produce the cost samples those
+ * sweeps consume.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "pore/reference_squiggle.hpp"
+#include "sdtw/config.hpp"
+#include "signal/dataset.hpp"
+
+namespace sf::sdtw {
+
+/** Which arithmetic domain to evaluate (ablation axis of Fig 18). */
+enum class EngineKind {
+    Float,     //!< float normalisation + double costs
+    Quantized, //!< int8 normalisation + saturating integer costs
+};
+
+/** One labelled cost observation. */
+struct CostSample
+{
+    double cost = 0.0;
+    bool isTarget = false;
+};
+
+/**
+ * Align the first @p prefix_samples of every sufficiently long read in
+ * @p reads and return the labelled costs.  Reads shorter than the
+ * prefix are skipped so all costs are comparable.
+ */
+std::vector<CostSample>
+collectCosts(const pore::ReferenceSquiggle &reference,
+             const std::vector<signal::ReadRecord> &reads,
+             std::size_t prefix_samples, const SdtwConfig &config,
+             EngineKind kind = EngineKind::Quantized);
+
+/** Split labelled costs into (target, decoy) score vectors. */
+void splitCosts(const std::vector<CostSample> &samples,
+                std::vector<double> &target, std::vector<double> &decoy);
+
+/** Build the threshold-sweep ROC for labelled costs. */
+RocCurve sweepThresholds(const std::vector<CostSample> &samples,
+                         std::size_t steps = 200);
+
+/** Threshold with the best F1 on the labelled costs. */
+double bestF1Threshold(const std::vector<CostSample> &samples);
+
+} // namespace sf::sdtw
+
+#endif // SF_SDTW_THRESHOLD_HPP

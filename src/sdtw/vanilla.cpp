@@ -1,0 +1,68 @@
+#include "sdtw/vanilla.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace sf::sdtw {
+
+std::vector<double>
+vanillaSdtwMatrix(const std::vector<float> &query,
+                  const std::vector<float> &reference)
+{
+    const std::size_t n = query.size();
+    const std::size_t m = reference.size();
+    if (n == 0 || m == 0)
+        fatal("vanillaSdtw requires non-empty query and reference");
+
+    auto dist = [&](std::size_t i, std::size_t j) {
+        const double d = double(query[i]) - double(reference[j]);
+        return d * d;
+    };
+
+    std::vector<double> s(n * m, 0.0);
+    auto cell = [&](std::size_t i, std::size_t j) -> double & {
+        return s[i * m + j];
+    };
+
+    // Subsequence DTW boundary: the alignment may begin at any
+    // reference column, so the first query row pays only its own
+    // pointwise distance; the first column accumulates down the query.
+    for (std::size_t j = 0; j < m; ++j)
+        cell(0, j) = dist(0, j);
+    for (std::size_t i = 1; i < n; ++i)
+        cell(i, 0) = cell(i - 1, 0) + dist(i, 0);
+
+    for (std::size_t i = 1; i < n; ++i) {
+        for (std::size_t j = 1; j < m; ++j) {
+            const double best = std::min({cell(i - 1, j - 1),
+                                          cell(i, j - 1),
+                                          cell(i - 1, j)});
+            cell(i, j) = dist(i, j) + best;
+        }
+    }
+    return s;
+}
+
+VanillaResult
+vanillaSdtw(const std::vector<float> &query,
+            const std::vector<float> &reference)
+{
+    const auto s = vanillaSdtwMatrix(query, reference);
+    const std::size_t n = query.size();
+    const std::size_t m = reference.size();
+
+    VanillaResult result;
+    result.cost = s[(n - 1) * m];
+    result.refEnd = 0;
+    for (std::size_t j = 1; j < m; ++j) {
+        const double c = s[(n - 1) * m + j];
+        if (c < result.cost) {
+            result.cost = c;
+            result.refEnd = j;
+        }
+    }
+    return result;
+}
+
+} // namespace sf::sdtw

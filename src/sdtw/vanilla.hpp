@@ -1,0 +1,43 @@
+#ifndef SF_SDTW_VANILLA_HPP
+#define SF_SDTW_VANILLA_HPP
+
+/**
+ * @file
+ * Reference implementation of subsequence DTW exactly as written in
+ * Figure 9 of the paper (full matrix, squared differences, all three
+ * predecessors).  Quadratic memory — used as the oracle in tests and
+ * never in the production filter.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace sf::sdtw {
+
+/** Full-matrix sDTW result, including the best end column. */
+struct VanillaResult
+{
+    double cost = 0.0;      //!< min over the last row
+    std::size_t refEnd = 0; //!< argmin column (alignment end)
+};
+
+/**
+ * Textbook subsequence DTW (Figure 9): the query must be consumed in
+ * full, the reference may match any subsequence.
+ *
+ * @param query query signal, length N >= 1
+ * @param reference reference signal, length M >= 1
+ */
+VanillaResult vanillaSdtw(const std::vector<float> &query,
+                          const std::vector<float> &reference);
+
+/**
+ * Same recurrence, returning the entire DP matrix (N x M, row-major)
+ * for tests that need to inspect intermediate cells.
+ */
+std::vector<double> vanillaSdtwMatrix(const std::vector<float> &query,
+                                      const std::vector<float> &reference);
+
+} // namespace sf::sdtw
+
+#endif // SF_SDTW_VANILLA_HPP

@@ -1,0 +1,32 @@
+#include "signal/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace sf::signal {
+
+Adc::Adc(double min_pa, double max_pa)
+    : minPa_(min_pa), maxPa_(max_pa)
+{
+    if (!(max_pa > min_pa))
+        fatal("ADC range [%f, %f] is empty", min_pa, max_pa);
+    scale_ = double(kAdcMax) / (maxPa_ - minPa_);
+}
+
+RawSample
+Adc::digitize(double current_pa) const
+{
+    const double code = std::round((current_pa - minPa_) * scale_);
+    return static_cast<RawSample>(
+        std::clamp(code, 0.0, double(kAdcMax)));
+}
+
+double
+Adc::toPa(RawSample code) const
+{
+    return minPa_ + double(code) / scale_;
+}
+
+} // namespace sf::signal

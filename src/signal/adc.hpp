@@ -1,0 +1,45 @@
+#ifndef SF_SIGNAL_ADC_HPP
+#define SF_SIGNAL_ADC_HPP
+
+/**
+ * @file
+ * 10-bit analog-to-digital converter model for the sequencer front end.
+ *
+ * The MinION digitises pore current into 10-bit codes over a fixed
+ * input range.  Saturation at either rail is modelled explicitly — the
+ * hardware normaliser's outlier clamp exists precisely because rail
+ * codes occur in practice.
+ */
+
+#include "common/types.hpp"
+
+namespace sf::signal {
+
+/** Linear ADC with clamping at the rails. */
+class Adc
+{
+  public:
+    /** Construct with an input range in picoamps. */
+    Adc(double min_pa = 40.0, double max_pa = 160.0);
+
+    /** Digitise a current; values outside the range saturate. */
+    RawSample digitize(double current_pa) const;
+
+    /** Reconstruct the (quantised) current for a code, in picoamps. */
+    double toPa(RawSample code) const;
+
+    /** Lower rail of the input range, picoamps. */
+    double minPa() const { return minPa_; }
+
+    /** Upper rail of the input range, picoamps. */
+    double maxPa() const { return maxPa_; }
+
+  private:
+    double minPa_;
+    double maxPa_;
+    double scale_; //!< codes per picoamp
+};
+
+} // namespace sf::signal
+
+#endif // SF_SIGNAL_ADC_HPP

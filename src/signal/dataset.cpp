@@ -1,0 +1,91 @@
+#include "signal/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace sf::signal {
+
+std::size_t
+ReadLengthDist::sample(Rng &rng) const
+{
+    // Log-normal with the requested arithmetic mean:
+    // mean = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+    const double mu = std::log(meanBases) - sigmaLog * sigmaLog / 2.0;
+    const double len = std::exp(rng.gaussian(mu, sigmaLog));
+    const auto clamped =
+        std::clamp(len, double(minBases), double(maxBases));
+    return std::size_t(clamped);
+}
+
+std::size_t
+Dataset::targetCount() const
+{
+    return std::size_t(std::count_if(
+        reads.begin(), reads.end(),
+        [](const ReadRecord &r) { return r.isTarget(); }));
+}
+
+std::size_t
+Dataset::backgroundCount() const
+{
+    return reads.size() - targetCount();
+}
+
+DatasetGenerator::DatasetGenerator(const genome::Genome &target,
+                                   const genome::Genome &background,
+                                   const SignalSimulator &simulator)
+    : target_(target), background_(background), simulator_(simulator)
+{
+    if (target_.empty() || background_.empty())
+        fatal("DatasetGenerator requires non-empty genomes");
+}
+
+ReadRecord
+DatasetGenerator::sampleRead(ReadOrigin origin, std::size_t length_bases,
+                             Rng &rng, std::uint64_t id) const
+{
+    const genome::Genome &source =
+        origin == ReadOrigin::Target ? target_ : background_;
+
+    // Fragments cannot exceed the source genome.
+    const std::size_t len = std::min(length_bases, source.size());
+    const std::size_t max_start = source.size() - len;
+    const auto start = std::size_t(
+        max_start == 0 ? 0 : rng.uniformInt(0, long(max_start)));
+
+    ReadRecord record;
+    record.id = id;
+    record.origin = origin;
+    record.sourceName = source.name();
+    record.sourcePos = start;
+    record.reverseStrand = rng.bernoulli(0.5);
+    record.bases = source.slice(start, len);
+    if (record.reverseStrand)
+        record.bases = genome::reverseComplement(record.bases);
+    simulator_.simulate(record, rng);
+    return record;
+}
+
+Dataset
+DatasetGenerator::generate(const DatasetSpec &spec) const
+{
+    if (spec.targetFraction < 0.0 || spec.targetFraction > 1.0)
+        fatal("targetFraction %f out of [0,1]", spec.targetFraction);
+
+    Rng rng(spec.seed);
+    Dataset dataset;
+    dataset.reads.reserve(spec.numReads);
+    for (std::size_t i = 0; i < spec.numReads; ++i) {
+        const bool is_target = rng.bernoulli(spec.targetFraction);
+        const auto &lengths =
+            is_target ? spec.targetLengths : spec.backgroundLengths;
+        dataset.reads.push_back(sampleRead(
+            is_target ? ReadOrigin::Target : ReadOrigin::Background,
+            lengths.sample(rng), rng, i));
+    }
+    return dataset;
+}
+
+} // namespace sf::signal

@@ -1,0 +1,92 @@
+#ifndef SF_SIGNAL_DATASET_HPP
+#define SF_SIGNAL_DATASET_HPP
+
+/**
+ * @file
+ * Metagenomic dataset generation.
+ *
+ * Builds labelled read sets mirroring the paper's specimens: a small
+ * fraction of target viral reads (1 %, 0.1 %, ...) in a sea of host
+ * background, with configurable read-length distributions.  Used by
+ * every accuracy experiment (Figures 11, 17, 18, 19) and the Read
+ * Until simulations.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "genome/genome.hpp"
+#include "signal/read.hpp"
+#include "signal/simulator.hpp"
+
+namespace sf::signal {
+
+/** Log-normal-style read length distribution (truncated). */
+struct ReadLengthDist
+{
+    double meanBases = 6000.0;  //!< arithmetic mean length
+    double sigmaLog = 0.55;     //!< log-space spread
+    std::size_t minBases = 300; //!< truncation floor
+    std::size_t maxBases = 60000; //!< truncation ceiling
+
+    /** Draw one length. */
+    std::size_t sample(Rng &rng) const;
+};
+
+/** Dataset composition request. */
+struct DatasetSpec
+{
+    std::size_t numReads = 2000;
+    double targetFraction = 0.01;   //!< e.g. 0.01 for a "1 %" specimen
+    ReadLengthDist targetLengths{1800.0, 0.5, 300, 20000};
+    ReadLengthDist backgroundLengths{6000.0, 0.55, 300, 60000};
+    std::uint64_t seed = 42;
+};
+
+/** A labelled, simulated read set. */
+struct Dataset
+{
+    std::vector<ReadRecord> reads;
+
+    /** Number of target-origin reads. */
+    std::size_t targetCount() const;
+
+    /** Number of background-origin reads. */
+    std::size_t backgroundCount() const;
+};
+
+/**
+ * Read sampler over a target genome and a background genome.
+ *
+ * Fragments are drawn uniformly from the source genome, from either
+ * strand with equal probability, and run through the signal simulator.
+ */
+class DatasetGenerator
+{
+  public:
+    /**
+     * @param target genome target reads are drawn from
+     * @param background genome background reads are drawn from
+     * @param simulator signal simulator shared by all reads
+     */
+    DatasetGenerator(const genome::Genome &target,
+                     const genome::Genome &background,
+                     const SignalSimulator &simulator);
+
+    /** Generate a dataset according to @p spec. */
+    Dataset generate(const DatasetSpec &spec) const;
+
+    /** Generate a single read from the given origin. */
+    ReadRecord sampleRead(ReadOrigin origin, std::size_t length_bases,
+                          Rng &rng, std::uint64_t id = 0) const;
+
+  private:
+    const genome::Genome &target_;
+    const genome::Genome &background_;
+    const SignalSimulator &simulator_;
+};
+
+} // namespace sf::signal
+
+#endif // SF_SIGNAL_DATASET_HPP

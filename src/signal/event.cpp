@@ -1,0 +1,75 @@
+#include "signal/event.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace sf::signal {
+
+EventDetector::EventDetector(EventDetectorConfig config)
+    : config_(config)
+{
+    if (config_.window < 2)
+        fatal("EventDetector window must be >= 2 samples");
+}
+
+std::vector<Event>
+EventDetector::detect(const std::vector<double> &signal_pa) const
+{
+    const std::size_t n = signal_pa.size();
+    const std::size_t w = config_.window;
+    std::vector<Event> events;
+    if (n < 2 * w + 1)
+        return events;
+
+    // Prefix sums for O(1) windowed mean/variance.
+    std::vector<double> sum(n + 1, 0.0), sum2(n + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        sum[i + 1] = sum[i] + signal_pa[i];
+        sum2[i + 1] = sum2[i] + signal_pa[i] * signal_pa[i];
+    }
+    auto windowStats = [&](std::size_t lo, std::size_t hi,
+                           double &mu, double &var) {
+        const double cnt = double(hi - lo);
+        mu = (sum[hi] - sum[lo]) / cnt;
+        var = (sum2[hi] - sum2[lo]) / cnt - mu * mu;
+        if (var < 1e-9)
+            var = 1e-9;
+    };
+
+    // t-statistic at every interior boundary position.
+    std::vector<double> tstat(n, 0.0);
+    for (std::size_t i = w; i + w <= n; ++i) {
+        double mu_l, var_l, mu_r, var_r;
+        windowStats(i - w, i, mu_l, var_l);
+        windowStats(i, i + w, mu_r, var_r);
+        tstat[i] = std::abs(mu_l - mu_r) /
+                   std::sqrt(var_l / double(w) + var_r / double(w));
+    }
+
+    // Boundaries are local maxima of the t-statistic above threshold,
+    // separated by at least the minimum event length.
+    std::vector<std::size_t> boundaries{0};
+    for (std::size_t i = w; i + w <= n && i + 1 < n; ++i) {
+        const bool is_peak = tstat[i] >= config_.threshold &&
+                             tstat[i] >= tstat[i - 1] &&
+                             tstat[i] >= tstat[i + 1];
+        if (is_peak && i - boundaries.back() >= config_.minEventLen)
+            boundaries.push_back(i);
+    }
+    boundaries.push_back(n);
+
+    events.reserve(boundaries.size() - 1);
+    for (std::size_t b = 0; b + 1 < boundaries.size(); ++b) {
+        const std::size_t lo = boundaries[b];
+        const std::size_t hi = boundaries[b + 1];
+        if (hi - lo < config_.minEventLen)
+            continue;
+        double mu, var;
+        windowStats(lo, hi, mu, var);
+        events.push_back({lo, hi - lo, mu, std::sqrt(var)});
+    }
+    return events;
+}
+
+} // namespace sf::signal

@@ -1,0 +1,60 @@
+#ifndef SF_SIGNAL_EVENT_HPP
+#define SF_SIGNAL_EVENT_HPP
+
+/**
+ * @file
+ * Event segmentation: raw squiggle -> step events.
+ *
+ * Detects the positions where a new base most likely entered the pore
+ * by sliding a two-sample t-statistic over the signal, the classic
+ * approach used by early basecallers and by UNCALLED (paper §8).  The
+ * Viterbi basecaller and the FM-index baseline both consume events.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sf::signal {
+
+/** One segmented event: a run of samples at a near-constant level. */
+struct Event
+{
+    std::size_t start = 0;  //!< first raw sample index
+    std::size_t length = 0; //!< number of raw samples
+    double meanPa = 0.0;    //!< mean current over the event, pA
+    double stdvPa = 0.0;    //!< spread over the event, pA
+};
+
+/** Configuration of the t-statistic change-point detector. */
+struct EventDetectorConfig
+{
+    std::size_t window = 6;   //!< samples on each side of the boundary
+    double threshold = 3.5;   //!< t-statistic peak threshold
+    std::size_t minEventLen = 3; //!< discard shorter events
+};
+
+/** Raw-signal-to-event segmenter. */
+class EventDetector
+{
+  public:
+    explicit EventDetector(EventDetectorConfig config = {});
+
+    /**
+     * Segment a raw squiggle.
+     * @param signal_pa raw samples already converted to picoamps
+     * @return events in order; their lengths sum to <= signal size
+     */
+    std::vector<Event> detect(const std::vector<double> &signal_pa) const;
+
+    /** The configuration in effect. */
+    const EventDetectorConfig &config() const { return config_; }
+
+  private:
+    EventDetectorConfig config_;
+};
+
+} // namespace sf::signal
+
+#endif // SF_SIGNAL_EVENT_HPP

@@ -1,0 +1,71 @@
+#ifndef SF_SIGNAL_READ_HPP
+#define SF_SIGNAL_READ_HPP
+
+/**
+ * @file
+ * A simulated nanopore read: the raw squiggle plus the ground truth
+ * needed by downstream evaluation (true origin, bases, dwell times).
+ *
+ * Ground truth is what the real datasets lack until basecalled and
+ * aligned; carrying it alongside the signal lets tests and benches
+ * compute exact accuracy without a reference pipeline in the loop.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "genome/base.hpp"
+
+namespace sf::signal {
+
+/** True origin of a simulated read. */
+enum class ReadOrigin : std::uint8_t {
+    Target,     //!< drawn from the target viral genome
+    Background, //!< drawn from the host/bacterial background
+};
+
+/** One simulated read with its generation ground truth. */
+struct ReadRecord
+{
+    std::uint64_t id = 0;          //!< unique within a dataset
+    ReadOrigin origin = ReadOrigin::Background;
+    std::string sourceName;        //!< genome the fragment came from
+    std::size_t sourcePos = 0;     //!< fragment start in source coords
+    bool reverseStrand = false;    //!< sequenced from the minus strand
+
+    /** Bases in sequencing orientation (already complemented if -). */
+    std::vector<genome::Base> bases;
+
+    /** Raw ADC samples, ~10 per base. */
+    std::vector<RawSample> raw;
+
+    /**
+     * Dwell (number of raw samples) per k-mer window; sums to
+     * raw.size().  Index i covers bases [i, i+k).
+     */
+    std::vector<std::uint16_t> dwells;
+
+    /** Mean translocation rate of this read, bases/second. */
+    double translocationRate = 0.0;
+
+    /** True when the read originates from the target genome. */
+    bool isTarget() const { return origin == ReadOrigin::Target; }
+
+    /** Full read length in bases. */
+    std::size_t lengthBases() const { return bases.size(); }
+
+    /** Full squiggle length in raw samples. */
+    std::size_t lengthSamples() const { return raw.size(); }
+
+    /**
+     * Leading slice of the squiggle, at most @p n samples (shorter
+     * when the read itself is shorter) — what Read Until sees.
+     */
+    std::vector<RawSample> prefix(std::size_t n) const;
+};
+
+} // namespace sf::signal
+
+#endif // SF_SIGNAL_READ_HPP

@@ -1,0 +1,95 @@
+#include "signal/simulator.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace sf::signal {
+
+std::vector<RawSample>
+ReadRecord::prefix(std::size_t n) const
+{
+    const std::size_t len = std::min(n, raw.size());
+    return {raw.begin(), raw.begin() + long(len)};
+}
+
+SignalSimulator::SignalSimulator(const pore::KmerModel &model,
+                                 SimulatorConfig config)
+    : model_(model), config_(config)
+{
+    if (config_.meanTranslocationRate <= 0.0 || config_.sampleRateHz <= 0.0)
+        fatal("SignalSimulator: rates must be positive");
+}
+
+void
+SignalSimulator::simulate(ReadRecord &record, Rng &rng) const
+{
+    record.raw.clear();
+    record.dwells.clear();
+    if (record.bases.size() < pore::KmerModel::kK) {
+        record.translocationRate = config_.meanTranslocationRate;
+        return;
+    }
+
+    // Per-read translocation rate: the source of the rate-dependent
+    // cost bias that the match bonus (paper §4.7) compensates.
+    double rate = rng.gaussian(config_.meanTranslocationRate,
+                               config_.translocationJitter);
+    rate = std::clamp(rate, config_.minTranslocationRate,
+                      config_.maxTranslocationRate);
+    record.translocationRate = rate;
+    const double samples_per_base = config_.sampleRateHz / rate;
+
+    // Per-read (per-pore) gain and offset mismatch.
+    const double gain = rng.gaussian(1.0, config_.gainStdv);
+    const double offset = rng.gaussian(0.0, config_.offsetStdvPa);
+
+    const std::size_t windows =
+        record.bases.size() - pore::KmerModel::kK + 1;
+    record.dwells.reserve(windows);
+    record.raw.reserve(std::size_t(double(windows) * samples_per_base) + 16);
+
+    // Dwell sampling: a sum of dwellShape exponentials (Erlang-style)
+    // keeps the mean at samples_per_base while avoiding the heavy
+    // 1-sample tail a pure geometric would produce.
+    const int shape = std::max(1, config_.dwellShape);
+    auto draw_dwell = [&]() {
+        double total = 0.0;
+        for (int k = 0; k < shape; ++k)
+            total += rng.exponential(samples_per_base / double(shape));
+        return std::max(1, int(std::lround(total)));
+    };
+
+    double drift = 0.0;
+    double filtered = 0.0;
+    bool filter_primed = false;
+    std::size_t kmer = pore::KmerModel::kmerIndex(record.bases, 0);
+    for (std::size_t w = 0; w < windows; ++w) {
+        if (w != 0) {
+            kmer = pore::KmerModel::rollKmer(
+                kmer, record.bases[w + pore::KmerModel::kK - 1]);
+        }
+        const double level = model_.levelPa(kmer);
+        const double stdv = model_.stdvPa(kmer) * config_.noiseScale;
+        const int dwell = draw_dwell();
+        record.dwells.push_back(std::uint16_t(std::min(dwell, 65535)));
+        if (!filter_primed) {
+            filtered = level;
+            filter_primed = true;
+        }
+        for (int s = 0; s < dwell; ++s) {
+            // Sensor low-pass: transitions settle over ~1/alpha samples.
+            filtered += config_.transitionAlpha * (level - filtered);
+            drift += rng.gaussian(0.0, config_.driftPaPerSample);
+            double current = filtered + rng.gaussian(0.0, stdv) + drift;
+            if (rng.bernoulli(config_.spikeProbability)) {
+                current +=
+                    rng.bernoulli(0.5) ? config_.spikePa : -config_.spikePa;
+            }
+            const double measured = gain * current + offset;
+            record.raw.push_back(adc_.digitize(measured));
+        }
+    }
+}
+
+} // namespace sf::signal

@@ -1,0 +1,86 @@
+#ifndef SF_SIGNAL_SIMULATOR_HPP
+#define SF_SIGNAL_SIMULATOR_HPP
+
+/**
+ * @file
+ * Physics-style nanopore signal simulator.
+ *
+ * Replaces real FAST5 squiggles (see DESIGN.md §1).  Models, per read:
+ *  - variable translocation rate (mean 450 b/s, per-read jitter), so
+ *    signals are mutually out-of-sync exactly as in Figure 8a;
+ *  - per-k-mer dwell times (geometric, mean ~10 samples/base);
+ *  - k-mer-dependent current levels from the pore model;
+ *  - Gaussian measurement noise with per-k-mer spread;
+ *  - slow baseline drift (random walk);
+ *  - per-pore gain/offset mismatch from bias-voltage differences,
+ *    the effect normalisation corrects in Figure 8c;
+ *  - occasional current spikes (outliers) and 10-bit ADC saturation.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pore/kmer_model.hpp"
+#include "signal/adc.hpp"
+#include "signal/read.hpp"
+
+namespace sf::signal {
+
+/** Tunable parameters of the signal simulator. */
+struct SimulatorConfig
+{
+    double meanTranslocationRate = 450.0; //!< bases/second
+    double translocationJitter = 45.0;    //!< per-read rate stdv
+    double minTranslocationRate = 300.0;  //!< clamp floor
+    double maxTranslocationRate = 650.0;  //!< clamp ceiling
+    double sampleRateHz = 4000.0;         //!< ADC samples/second
+    double noiseScale = 0.75;   //!< multiplier on per-k-mer noise stdv
+    double driftPaPerSample = 0.015;      //!< baseline random-walk step
+    /**
+     * One-pole low-pass response of the sensing circuit: each sample
+     * moves this fraction of the way from the previous filtered value
+     * to the new k-mer level.  Values < 1 blur level transitions, so
+     * faster-translocating reads (more transitions per sample) accrue
+     * higher alignment costs — the effect the match bonus (§4.7)
+     * compensates.  1.0 disables the filter.
+     */
+    double transitionAlpha = 0.65;
+    /** Dwell-time dispersion: 1 = geometric; higher = more regular. */
+    int dwellShape = 3;
+    double gainStdv = 0.05;     //!< per-read multiplicative mismatch
+    double offsetStdvPa = 8.0;  //!< per-read additive mismatch, pA
+    double spikeProbability = 5e-4;       //!< outlier sample rate
+    double spikePa = 45.0;                //!< outlier magnitude, pA
+};
+
+/** Generates squiggles from base sequences. */
+class SignalSimulator
+{
+  public:
+    /** Construct over a pore model with the given configuration. */
+    SignalSimulator(const pore::KmerModel &model,
+                    SimulatorConfig config = {});
+
+    /**
+     * Simulate the squiggle for @p bases, writing raw samples, dwells
+     * and the realised translocation rate into @p record (its bases
+     * must already be set to @p bases by the caller or equal them).
+     */
+    void simulate(ReadRecord &record, Rng &rng) const;
+
+    /** The configuration in effect. */
+    const SimulatorConfig &config() const { return config_; }
+
+    /** The ADC used for digitisation. */
+    const Adc &adc() const { return adc_; }
+
+  private:
+    const pore::KmerModel &model_;
+    SimulatorConfig config_;
+    Adc adc_;
+};
+
+} // namespace sf::signal
+
+#endif // SF_SIGNAL_SIMULATOR_HPP

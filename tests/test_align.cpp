@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the minimap2-lite aligner: minimizers, index, chaining,
+ * banded extension, and end-to-end mapping with mutations and strand
+ * flips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/aligner.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "genome/mutate.hpp"
+#include "genome/synthetic.hpp"
+
+namespace sf::align {
+namespace {
+
+const genome::Genome &
+reference()
+{
+    static const genome::Genome g =
+        genome::makeSynthetic("ref", {.length = 30000, .seed = 101});
+    return g;
+}
+
+TEST(Minimizer, DeterministicAndSorted)
+{
+    const auto a = extractMinimizers(reference().bases());
+    const auto b = extractMinimizers(reference().bases());
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_FALSE(a.empty());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].hash, b[i].hash);
+        EXPECT_EQ(a[i].pos, b[i].pos);
+        if (i > 0) {
+            EXPECT_LT(a[i - 1].pos, a[i].pos);
+        }
+    }
+}
+
+TEST(Minimizer, DensityNearTwoOverWPlusOne)
+{
+    MinimizerConfig config{15, 10};
+    const auto minimizers =
+        extractMinimizers(reference().bases(), config);
+    const double density =
+        double(minimizers.size()) / double(reference().size());
+    EXPECT_GT(density, 0.1);
+    EXPECT_LT(density, 0.35);
+}
+
+TEST(Minimizer, StrandCanonical)
+{
+    // Minimizer hash sets of a sequence and its reverse complement
+    // must be identical.
+    const auto fragment = reference().slice(5000, 400);
+    const auto rc = genome::reverseComplement(fragment);
+    auto hashes = [](const std::vector<Minimizer> &ms) {
+        std::vector<std::uint64_t> out;
+        for (const auto &m : ms)
+            out.push_back(m.hash);
+        std::sort(out.begin(), out.end());
+        return out;
+    };
+    EXPECT_EQ(hashes(extractMinimizers(fragment)),
+              hashes(extractMinimizers(rc)));
+}
+
+TEST(Minimizer, ShortSequenceYieldsNothing)
+{
+    EXPECT_TRUE(
+        extractMinimizers(std::vector<genome::Base>(5)).empty());
+}
+
+TEST(Minimizer, InvalidConfigIsFatal)
+{
+    EXPECT_THROW(extractMinimizers(reference().bases(), {3, 10}),
+                 FatalError);
+    EXPECT_THROW(extractMinimizers(reference().bases(), {15, 0}),
+                 FatalError);
+}
+
+TEST(Index, FindsExactFragmentSeeds)
+{
+    const MinimizerIndex index(reference());
+    const auto fragment = reference().slice(12000, 600);
+    const auto hits = index.seedHits(extractMinimizers(fragment));
+    ASSERT_FALSE(hits.empty());
+    // Most hits should lie on the true diagonal.
+    std::size_t on_diag = 0;
+    for (const auto &hit : hits) {
+        if (hit.sameStrand &&
+            std::abs(long(hit.refPos) - long(hit.queryPos) - 12000) < 5)
+            ++on_diag;
+    }
+    EXPECT_GT(double(on_diag) / double(hits.size()), 0.8);
+}
+
+TEST(Chain, ChainsColinearAnchors)
+{
+    const MinimizerIndex index(reference());
+    const auto fragment = reference().slice(8000, 1500);
+    const auto chains =
+        chainHits(index.seedHits(extractMinimizers(fragment)));
+    ASSERT_FALSE(chains.empty());
+    const Chain &best = chains.front();
+    EXPECT_TRUE(best.sameStrand);
+    EXPECT_NEAR(double(best.refStart), 8000.0, 40.0);
+    EXPECT_GT(best.anchors.size(), 10u);
+    EXPECT_GT(best.score, 100.0);
+}
+
+TEST(Extend, PerfectMatchHasFullIdentity)
+{
+    const auto query = reference().slice(100, 300);
+    const auto window = reference().slice(50, 450);
+    const auto ext = bandedExtend(query, window);
+    ASSERT_TRUE(ext.valid);
+    EXPECT_EQ(ext.edits, 0u);
+    EXPECT_DOUBLE_EQ(ext.identity(), 1.0);
+    EXPECT_EQ(ext.refBegin, 50u);
+    EXPECT_EQ(ext.refEnd, 350u);
+    ASSERT_EQ(ext.cigar.size(), 1u);
+    EXPECT_EQ(ext.cigar[0], (CigarOp{'M', 300}));
+}
+
+TEST(Extend, CountsSubstitutionsAndIndels)
+{
+    auto query = reference().slice(100, 300);
+    query[50] = genome::complement(query[50]); // guaranteed mismatch
+    query.erase(query.begin() + 150);          // deletion from query
+    const auto window = reference().slice(80, 360);
+    const auto ext = bandedExtend(query, window);
+    ASSERT_TRUE(ext.valid);
+    EXPECT_EQ(ext.edits, 2u);
+    EXPECT_GT(ext.identity(), 0.99);
+    std::string cigar = cigarToString(ext.cigar);
+    EXPECT_NE(cigar.find('D'), std::string::npos);
+}
+
+TEST(Extend, EmptyInputsInvalid)
+{
+    EXPECT_FALSE(bandedExtend({}, reference().slice(0, 10)).valid);
+    EXPECT_FALSE(bandedExtend(reference().slice(0, 10), {}).valid);
+}
+
+class AlignerTest : public ::testing::Test
+{
+  protected:
+    AlignerTest() : aligner_(reference()) {}
+    ReadAligner aligner_;
+};
+
+TEST_F(AlignerTest, MapsExactFragment)
+{
+    const auto query = reference().slice(4000, 900);
+    const auto alignment = aligner_.map(query);
+    ASSERT_TRUE(alignment.mapped);
+    EXPECT_FALSE(alignment.reverseStrand);
+    EXPECT_NEAR(double(alignment.refStart), 4000.0, 2.0);
+    EXPECT_NEAR(double(alignment.refEnd), 4900.0, 2.0);
+    EXPECT_GT(alignment.identity, 0.999);
+    EXPECT_GT(alignment.mapq, 30);
+}
+
+TEST_F(AlignerTest, MapsReverseStrandFragment)
+{
+    const auto query =
+        genome::reverseComplement(reference().slice(15000, 700));
+    const auto alignment = aligner_.map(query);
+    ASSERT_TRUE(alignment.mapped);
+    EXPECT_TRUE(alignment.reverseStrand);
+    EXPECT_NEAR(double(alignment.refStart), 15000.0, 2.0);
+    EXPECT_GT(alignment.identity, 0.999);
+}
+
+TEST_F(AlignerTest, MapsNoisyFragment)
+{
+    // ~8% edits, nanopore-like.
+    Rng rng(7);
+    auto query = reference().slice(20000, 1200);
+    for (std::size_t i = 0; i < query.size(); ++i) {
+        if (rng.bernoulli(0.05))
+            query[i] = static_cast<genome::Base>(rng.uniformInt(0, 3));
+    }
+    for (int d = 0; d < 20; ++d)
+        query.erase(query.begin() +
+                    long(rng.uniformInt(0, long(query.size()) - 1)));
+    const auto alignment = aligner_.map(query);
+    ASSERT_TRUE(alignment.mapped);
+    EXPECT_NEAR(double(alignment.refStart), 20000.0, 30.0);
+    EXPECT_GT(alignment.identity, 0.85);
+}
+
+TEST_F(AlignerTest, RejectsForeignSequence)
+{
+    const genome::Genome foreign =
+        genome::makeSynthetic("x", {.length = 2000, .seed = 999});
+    const auto alignment = aligner_.map(foreign.bases());
+    EXPECT_FALSE(alignment.mapped);
+    EXPECT_EQ(aligner_.chainScore(foreign.bases()), 0.0);
+}
+
+TEST_F(AlignerTest, ChainScoreSeparatesTargetFromForeign)
+{
+    const auto own = reference().slice(2500, 800);
+    const genome::Genome foreign =
+        genome::makeSynthetic("y", {.length = 800, .seed = 1000});
+    EXPECT_GT(aligner_.chainScore(own), 200.0);
+    EXPECT_LT(aligner_.chainScore(foreign.bases()), 60.0);
+}
+
+TEST_F(AlignerTest, TinyQueryUnmapped)
+{
+    EXPECT_FALSE(aligner_.map(reference().slice(0, 8)).mapped);
+}
+
+TEST_F(AlignerTest, CigarWalksConsistently)
+{
+    const auto query = reference().slice(9000, 500);
+    const auto alignment = aligner_.map(query);
+    ASSERT_TRUE(alignment.mapped);
+    // CIGAR must consume exactly the query and the reference span.
+    std::size_t q = 0, r = 0;
+    for (const auto &op : alignment.cigar) {
+        if (op.op == 'M') {
+            q += op.len;
+            r += op.len;
+        } else if (op.op == 'I') {
+            q += op.len;
+        } else {
+            r += op.len;
+        }
+    }
+    EXPECT_EQ(q, alignment.alignedQuery.size());
+    EXPECT_EQ(r, alignment.refEnd - alignment.refStart);
+}
+
+} // namespace
+} // namespace sf::align

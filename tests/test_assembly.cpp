@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the assembly substrate: pileup accounting, consensus
+ * calling, variant recovery at 30x coverage (the Table 2 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/aligner.hpp"
+#include "assembly/assembler.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "genome/mutate.hpp"
+#include "genome/synthetic.hpp"
+
+namespace sf::assembly {
+namespace {
+
+const genome::Genome &
+reference()
+{
+    static const genome::Genome g =
+        genome::makeSynthetic("asm-ref", {.length = 12000, .seed = 201});
+    return g;
+}
+
+const align::ReadAligner &
+aligner()
+{
+    static const align::ReadAligner a(reference());
+    return a;
+}
+
+/** Draw reads from @p source with light sequencing noise. */
+std::vector<std::vector<genome::Base>>
+drawReads(const genome::Genome &source, std::size_t count,
+          std::size_t len, double error_rate, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<genome::Base>> reads;
+    reads.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto start = std::size_t(
+            rng.uniformInt(0, long(source.size() - len)));
+        auto bases = source.slice(start, len);
+        for (auto &b : bases) {
+            if (rng.bernoulli(error_rate))
+                b = static_cast<genome::Base>(rng.uniformInt(0, 3));
+        }
+        if (rng.bernoulli(0.5))
+            bases = genome::reverseComplement(bases);
+        reads.push_back(std::move(bases));
+    }
+    return reads;
+}
+
+TEST(Pileup, TalliesPerfectReads)
+{
+    Pileup pileup(reference().size());
+    const auto reads = drawReads(reference(), 40, 1500, 0.0, 1);
+    for (const auto &read : reads) {
+        const auto alignment = aligner().map(read);
+        ASSERT_TRUE(alignment.mapped);
+        pileup.add(alignment);
+    }
+    EXPECT_EQ(pileup.readsAdded(), reads.size());
+    EXPECT_GT(pileup.meanCoverage(), 3.0);
+
+    // Every covered column's majority base must equal the reference.
+    std::size_t checked = 0;
+    for (std::size_t pos = 0; pos < pileup.size(); pos += 37) {
+        const auto &col = pileup.column(pos);
+        if (col.coverage() == 0)
+            continue;
+        const auto ref_code = genome::baseCode(reference()[pos]);
+        for (int code = 0; code < genome::kNumBases; ++code) {
+            if (code != ref_code) {
+                EXPECT_LE(col.baseCount[code],
+                          col.baseCount[ref_code]);
+            }
+        }
+        ++checked;
+    }
+    EXPECT_GT(checked, 100u);
+}
+
+TEST(Pileup, RejectsUnmappedAlignment)
+{
+    Pileup pileup(100);
+    align::Alignment unmapped;
+    EXPECT_THROW(pileup.add(unmapped), FatalError);
+}
+
+TEST(Pileup, BoundsCheckedColumnAccess)
+{
+    Pileup pileup(50);
+    EXPECT_THROW(pileup.column(50), FatalError);
+    EXPECT_THROW(Pileup(0), FatalError);
+}
+
+TEST(Consensus, CleanPileupHasNoVariants)
+{
+    Pileup pileup(reference().size());
+    for (const auto &read : drawReads(reference(), 120, 2000, 0.01, 2)) {
+        const auto alignment = aligner().map(read);
+        if (alignment.mapped)
+            pileup.add(alignment);
+    }
+    const auto result = callConsensus(pileup, reference());
+    EXPECT_TRUE(result.variants.empty());
+    EXPECT_EQ(result.consensus.toString(), reference().toString());
+}
+
+TEST(Consensus, LowCoveragePositionsFallBackToReference)
+{
+    Pileup pileup(reference().size()); // empty: zero coverage
+    const auto result = callConsensus(pileup, reference());
+    EXPECT_EQ(result.lowCoveragePositions, reference().size());
+    EXPECT_EQ(result.consensus.toString(), reference().toString());
+}
+
+TEST(Consensus, SizeMismatchIsFatal)
+{
+    Pileup pileup(10);
+    EXPECT_THROW(callConsensus(pileup, reference()), FatalError);
+}
+
+class StrainRecoveryTest : public ::testing::Test
+{
+  protected:
+    /**
+     * Assemble reads drawn from a mutated strain against the original
+     * reference and return the called variants.
+     */
+    ConsensusResult
+    assembleStrain(const genome::Strain &strain, double error_rate,
+                   std::uint64_t seed)
+    {
+        ReferenceGuidedAssembler assembler(reference(), aligner(),
+                                           30.0);
+        const auto reads =
+            drawReads(strain.genome, 400, 2000, error_rate, seed);
+        for (const auto &read : reads) {
+            assembler.addRead(read);
+            if (assembler.coverageReached())
+                break;
+        }
+        EXPECT_TRUE(assembler.coverageReached());
+        return assembler.assemble();
+    }
+};
+
+TEST_F(StrainRecoveryTest, RecoversSnpsAt30xCoverage)
+{
+    genome::MutationSpec spec;
+    spec.substitutions = 20;
+    spec.seed = 31;
+    const auto strain = genome::mutate(reference(), spec, "strain-a");
+    const auto result = assembleStrain(strain, 0.02, 77);
+
+    // Every injected SNP must be called, with few spurious extras.
+    std::size_t recovered = 0;
+    for (const auto &truth : strain.variants) {
+        for (const auto &called : result.variants) {
+            if (called.type == genome::VariantType::Substitution &&
+                called.position == truth.position &&
+                called.alt == truth.alt) {
+                ++recovered;
+                break;
+            }
+        }
+    }
+    EXPECT_EQ(recovered, strain.variants.size());
+    EXPECT_LE(result.variants.size(), strain.variants.size() + 3);
+}
+
+TEST_F(StrainRecoveryTest, NoisyReadsStillRecoverMostSnps)
+{
+    genome::MutationSpec spec;
+    spec.substitutions = 15;
+    spec.seed = 32;
+    const auto strain = genome::mutate(reference(), spec, "strain-b");
+    const auto result = assembleStrain(strain, 0.06, 78);
+
+    std::size_t recovered = 0;
+    for (const auto &truth : strain.variants) {
+        for (const auto &called : result.variants) {
+            if (called.position == truth.position &&
+                called.alt == truth.alt) {
+                ++recovered;
+                break;
+            }
+        }
+    }
+    EXPECT_GE(recovered, strain.variants.size() - 2);
+}
+
+TEST(Assembler, TracksCoverageAndUnmapped)
+{
+    ReferenceGuidedAssembler assembler(reference(), aligner(), 5.0);
+    const genome::Genome foreign =
+        genome::makeSynthetic("foreign", {.length = 2000, .seed = 300});
+
+    EXPECT_FALSE(assembler.addRead(foreign.bases()));
+    for (const auto &read : drawReads(reference(), 60, 1500, 0.01, 3))
+        assembler.addRead(read);
+
+    const auto stats = assembler.stats();
+    EXPECT_EQ(stats.readsUnmapped, 1u);
+    EXPECT_GT(stats.readsAligned, 50u);
+    EXPECT_GT(stats.meanCoverage, 5.0);
+    EXPECT_TRUE(assembler.coverageReached());
+}
+
+TEST(Assembler, InvalidCoverageTargetIsFatal)
+{
+    EXPECT_THROW(
+        ReferenceGuidedAssembler(reference(), aligner(), 0.0),
+        FatalError);
+}
+
+} // namespace
+} // namespace sf::assembly

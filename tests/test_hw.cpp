@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Tests for the hardware model: bit-exact equivalence between the
+ * cycle-accurate systolic array and the software engine, tile/chip
+ * behaviour, and the ASIC area/power/timing model against the paper's
+ * published numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "genome/synthetic.hpp"
+#include "hw/accelerator.hpp"
+#include "hw/asic_model.hpp"
+#include "hw/systolic.hpp"
+#include "hw/tile.hpp"
+#include "pore/kmer_model.hpp"
+#include "pore/reference_squiggle.hpp"
+#include "sdtw/filter.hpp"
+#include "signal/dataset.hpp"
+
+namespace sf::hw {
+namespace {
+
+const pore::KmerModel &
+model()
+{
+    static const pore::KmerModel m = pore::KmerModel::makeR941();
+    return m;
+}
+
+std::vector<NormSample>
+randomQuantSignal(std::size_t n, Rng &rng)
+{
+    std::vector<NormSample> out(n);
+    for (auto &s : out)
+        s = NormSample(rng.uniformInt(-128, 127));
+    return out;
+}
+
+// ---------------------------------------------------------------- //
+//             systolic array == software engine (exact)             //
+// ---------------------------------------------------------------- //
+
+class SystolicEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(SystolicEquivalenceTest, MatchesQuantEngineBitExact)
+{
+    Rng rng(GetParam());
+    const auto n = std::size_t(rng.uniformInt(1, 64));
+    const auto m = std::size_t(rng.uniformInt(1, 160));
+    const auto query = randomQuantSignal(n, rng);
+    const auto ref = randomQuantSignal(m, rng);
+
+    sdtw::SdtwConfig config = sdtw::hardwareConfig();
+    if (rng.bernoulli(0.5))
+        config.matchBonus = 0.0; // exercise both bonus paths
+
+    const sdtw::QuantSdtw engine(config);
+    const auto want = engine.align(query, ref);
+
+    SystolicArray array(n, config);
+    const auto got = array.run(query, ref);
+    EXPECT_EQ(got.cost, want.cost);
+    EXPECT_EQ(got.refEnd, want.refEnd);
+    EXPECT_EQ(got.cycles, SystolicArray::passCycles(n, m));
+    EXPECT_EQ(got.cellsComputed, std::uint64_t(n) * std::uint64_t(m));
+}
+
+TEST_P(SystolicEquivalenceTest, ResumedPassesMatchChunkedEngine)
+{
+    Rng rng(GetParam() ^ 0x77ULL);
+    const auto m = std::size_t(rng.uniformInt(8, 140));
+    const auto chunk1 = std::size_t(rng.uniformInt(2, 32));
+    const auto chunk2 = std::size_t(rng.uniformInt(2, 32));
+    const auto ref = randomQuantSignal(m, rng);
+    const auto q1 = randomQuantSignal(chunk1, rng);
+    const auto q2 = randomQuantSignal(chunk2, rng);
+
+    const sdtw::SdtwConfig config = sdtw::hardwareConfig();
+    const sdtw::QuantSdtw engine(config);
+    sdtw::QuantSdtw::State engine_state;
+    engine.process(q1, ref, engine_state);
+    const auto want = engine.process(q2, ref, engine_state);
+
+    SystolicArray array(std::max(chunk1, chunk2), config);
+    sdtw::QuantSdtw::State hw_state;
+    array.run(q1, ref, &hw_state, true); // checkpoint to "DRAM"
+    const auto got = array.run(q2, ref, &hw_state, false);
+    EXPECT_EQ(got.cost, want.cost);
+    EXPECT_EQ(got.refEnd, want.refEnd);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SystolicEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(Systolic, CheckpointRowEqualsEngineRow)
+{
+    Rng rng(5);
+    const auto query = randomQuantSignal(24, rng);
+    const auto ref = randomQuantSignal(80, rng);
+    const sdtw::SdtwConfig config = sdtw::hardwareConfig();
+
+    sdtw::QuantSdtw::State engine_state;
+    sdtw::QuantSdtw(config).process(
+        std::span<const NormSample>(query), ref, engine_state);
+
+    SystolicArray array(query.size(), config);
+    sdtw::QuantSdtw::State hw_state;
+    const auto result = array.run(query, ref, &hw_state, true);
+    ASSERT_EQ(hw_state.row.size(), engine_state.row.size());
+    EXPECT_EQ(hw_state.row, engine_state.row);
+    EXPECT_EQ(hw_state.dwell, engine_state.dwell);
+    EXPECT_EQ(result.checkpointBytes,
+              ref.size() * SystolicArray::kCheckpointBytesPerCell);
+}
+
+TEST(Systolic, RejectsUnsupportedConfigurations)
+{
+    sdtw::SdtwConfig squared = sdtw::hardwareConfig();
+    squared.metric = sdtw::CostMetric::SquaredDifference;
+    EXPECT_THROW(SystolicArray(16, squared), FatalError);
+
+    sdtw::SdtwConfig refdel = sdtw::hardwareConfig();
+    refdel.allowReferenceDeletion = true;
+    EXPECT_THROW(SystolicArray(16, refdel), FatalError);
+}
+
+TEST(Systolic, RejectsOversizedQuery)
+{
+    SystolicArray array(8);
+    Rng rng(6);
+    const auto query = randomQuantSignal(9, rng);
+    const auto ref = randomQuantSignal(16, rng);
+    EXPECT_THROW(array.run(query, ref), FatalError);
+}
+
+// ---------------------------------------------------------------- //
+//                              tile                                 //
+// ---------------------------------------------------------------- //
+
+class TileTest : public ::testing::Test
+{
+  protected:
+    TileTest()
+        : virus_(genome::makeSynthetic("virus", {.length = 9000,
+                                                 .seed = 81})),
+          host_(genome::makeSynthetic("host", {.length = 150000,
+                                               .seed = 82})),
+          reference_(virus_, model()), sim_(model()),
+          generator_(virus_, host_, sim_)
+    {}
+
+    signal::Dataset
+    makeData(std::size_t reads, std::uint64_t seed)
+    {
+        signal::DatasetSpec spec;
+        spec.numReads = reads;
+        spec.targetFraction = 0.5;
+        spec.targetLengths = {1200.0, 0.3, 500, 4000};
+        spec.backgroundLengths = {1200.0, 0.3, 500, 4000};
+        spec.seed = seed;
+        return generator_.generate(spec);
+    }
+
+    genome::Genome virus_;
+    genome::Genome host_;
+    pore::ReferenceSquiggle reference_;
+    signal::SignalSimulator sim_;
+    signal::DatasetGenerator generator_;
+};
+
+TEST_F(TileTest, FunctionalTileMatchesSoftwareClassifier)
+{
+    sdtw::SquiggleFilterClassifier classifier(reference_);
+    classifier.setSingleStage(2000, 60000);
+
+    TileConfig config;
+    config.cycleAccurate = false;
+    Tile tile(reference_, config);
+
+    const auto data = makeData(12, 83);
+    for (const auto &read : data.reads) {
+        const auto sw = classifier.classify(read.raw);
+        const auto hw = tile.processRead(read.raw,
+                                         classifier.stages());
+        EXPECT_EQ(hw.classification.keep, sw.keep);
+        EXPECT_EQ(hw.classification.cost, sw.cost);
+        EXPECT_EQ(hw.classification.refEnd, sw.refEnd);
+        EXPECT_EQ(hw.classification.samplesUsed, sw.samplesUsed);
+    }
+}
+
+TEST_F(TileTest, CycleAccurateTileMatchesFunctionalTile)
+{
+    TileConfig fast;
+    fast.cycleAccurate = false;
+    TileConfig exact;
+    exact.cycleAccurate = true;
+    Tile fast_tile(reference_, fast);
+    Tile exact_tile(reference_, exact);
+
+    const std::vector<sdtw::FilterStage> stages{{1000, 40000},
+                                                {2000, 30000}};
+    const auto data = makeData(4, 84);
+    for (const auto &read : data.reads) {
+        const auto a = fast_tile.processRead(read.raw, stages);
+        const auto b = exact_tile.processRead(read.raw, stages);
+        EXPECT_EQ(a.classification.keep, b.classification.keep);
+        EXPECT_EQ(a.classification.cost, b.classification.cost);
+        EXPECT_EQ(a.cycles, b.cycles);
+        EXPECT_EQ(a.dramBytesWritten, b.dramBytesWritten);
+    }
+}
+
+TEST_F(TileTest, CycleCountMatchesPaperFormula)
+{
+    TileConfig config;
+    config.cycleAccurate = false;
+    Tile tile(reference_, config);
+
+    const auto data = makeData(6, 85);
+    for (const auto &read : data.reads) {
+        if (read.raw.size() < 2000)
+            continue;
+        const auto result =
+            tile.processRead(read.raw, {{2000, kCostMax}});
+        // 2L normalise + L + M - 1 array pass.
+        EXPECT_EQ(result.cycles,
+                  AsicModel::classifyCycles(2000, reference_.size()));
+        EXPECT_EQ(result.dramBytesWritten, 0u);
+        EXPECT_EQ(result.dramBytesRead, 0u);
+    }
+}
+
+TEST_F(TileTest, MultiStageGeneratesDramTraffic)
+{
+    TileConfig config;
+    config.cycleAccurate = false;
+    Tile tile(reference_, config);
+
+    const auto data = makeData(8, 86);
+    const std::vector<sdtw::FilterStage> stages{{1000, kCostMax - 1},
+                                                {2000, kCostMax - 1}};
+    bool saw_two_stages = false;
+    for (const auto &read : data.reads) {
+        if (read.raw.size() < 2000)
+            continue;
+        const auto result = tile.processRead(read.raw, stages);
+        if (result.classification.stagesRun == 2) {
+            saw_two_stages = true;
+            EXPECT_EQ(result.dramBytesWritten,
+                      reference_.size() *
+                          SystolicArray::kCheckpointBytesPerCell);
+            EXPECT_EQ(result.dramBytesRead, result.dramBytesWritten);
+        }
+    }
+    EXPECT_TRUE(saw_two_stages);
+}
+
+TEST_F(TileTest, OversizedReferenceIsFatal)
+{
+    TileConfig config;
+    config.referenceBufferBytes = 100; // far too small
+    EXPECT_THROW(Tile(reference_, config), FatalError);
+}
+
+// ---------------------------------------------------------------- //
+//                           accelerator                             //
+// ---------------------------------------------------------------- //
+
+TEST_F(TileTest, AcceleratorBatchAccounting)
+{
+    AcceleratorConfig config;
+    config.numTiles = 5;
+    Accelerator accel(reference_, config);
+
+    const auto data = makeData(20, 87);
+    std::vector<DispatchedRead> outcomes;
+    const auto stats =
+        accel.processBatch(data.reads, {{2000, 50000}}, &outcomes);
+
+    EXPECT_EQ(stats.reads, data.reads.size());
+    EXPECT_EQ(stats.kept + stats.ejected, stats.reads);
+    EXPECT_EQ(outcomes.size(), data.reads.size());
+    EXPECT_GT(stats.throughputSamplesPerSec, 0.0);
+    EXPECT_GT(stats.utilization, 0.0);
+    EXPECT_LE(stats.utilization, 1.0 + 1e-9);
+    for (const auto &o : outcomes)
+        EXPECT_LT(o.tile, config.numTiles);
+}
+
+TEST_F(TileTest, MoreTilesShrinkMakespan)
+{
+    const auto data = makeData(20, 88);
+    AcceleratorConfig config;
+    config.numTiles = 5;
+
+    Accelerator accel(reference_, config);
+    accel.setActiveTiles(1);
+    const auto one = accel.processBatch(data.reads, {{2000, 50000}});
+    accel.setActiveTiles(5);
+    const auto five = accel.processBatch(data.reads, {{2000, 50000}});
+
+    EXPECT_LT(five.makespanCycles, one.makespanCycles);
+    // Identical work, so busy cycles match exactly.
+    EXPECT_EQ(five.totalBusyCycles, one.totalBusyCycles);
+    EXPECT_GT(five.throughputSamplesPerSec,
+              3.0 * one.throughputSamplesPerSec);
+}
+
+TEST_F(TileTest, ActiveTileCountClamped)
+{
+    AcceleratorConfig config;
+    config.numTiles = 3;
+    Accelerator accel(reference_, config);
+    accel.setActiveTiles(100);
+    EXPECT_EQ(accel.activeTiles(), 3);
+    accel.setActiveTiles(0);
+    EXPECT_EQ(accel.activeTiles(), 1);
+}
+
+// ---------------------------------------------------------------- //
+//                       ASIC area/power model                       //
+// ---------------------------------------------------------------- //
+
+TEST(AsicModel, Table4HeadlineNumbers)
+{
+    const AsicModel asic(2000, 5);
+    // Paper Table 4: 2.423 mm^2 / 2.78 W tile core; 13.25 mm^2 /
+    // 14.31 W complete 5-tile ASIC.
+    EXPECT_NEAR(asic.tileCoreAreaMm2(), 2.423, 0.01);
+    EXPECT_NEAR(asic.tileCorePowerW(), 2.78, 0.03);
+    EXPECT_NEAR(asic.oneTileAreaMm2(), 2.65, 0.02);
+    EXPECT_NEAR(asic.oneTilePowerW(), 2.86, 0.03);
+    EXPECT_NEAR(asic.chipAreaMm2(), 13.25, 0.1);
+    EXPECT_NEAR(asic.chipPowerW(5), 14.31, 0.15);
+}
+
+TEST(AsicModel, PowerGatingScalesPower)
+{
+    const AsicModel asic(2000, 5);
+    EXPECT_LT(asic.chipPowerW(1), asic.chipPowerW(5) / 3.0);
+    EXPECT_GT(asic.chipPowerW(1), asic.oneTilePowerW() * 0.99);
+}
+
+TEST(AsicModel, LatencyMatchesPaperSection71)
+{
+    const pore::ReferenceSquiggle sars(genome::makeSarsCov2(), model());
+    const pore::ReferenceSquiggle lambda(genome::makeLambdaPhage(),
+                                         model());
+    // Paper: 0.027 ms for SARS-CoV-2, 0.043 ms for lambda phage.
+    EXPECT_NEAR(AsicModel::classifyLatencyMs(2000, sars.size()), 0.027,
+                0.003);
+    EXPECT_NEAR(AsicModel::classifyLatencyMs(2000, lambda.size()),
+                0.043, 0.004);
+}
+
+TEST(AsicModel, ThroughputMatchesPaperSection71)
+{
+    const pore::ReferenceSquiggle sars(genome::makeSarsCov2(), model());
+    const pore::ReferenceSquiggle lambda(genome::makeLambdaPhage(),
+                                         model());
+    // Paper: 74.63 M (SARS-CoV-2) and 46.73 M (lambda) samples/s per
+    // tile; 233.65 M samples/s for the 5-tile chip on lambda.
+    const double sars_tile =
+        AsicModel::tileThroughputSamplesPerSec(2000, sars.size());
+    const double lambda_tile =
+        AsicModel::tileThroughputSamplesPerSec(2000, lambda.size());
+    EXPECT_NEAR(sars_tile / 1e6, 74.63, 4.0);
+    EXPECT_NEAR(lambda_tile / 1e6, 46.73, 4.0);
+
+    const AsicModel asic(2000, 5);
+    EXPECT_NEAR(
+        asic.chipThroughputSamplesPerSec(2000, lambda.size(), 5) / 1e6,
+        233.65, 20.0);
+}
+
+TEST(AsicModel, ThroughputHeadroomOverMinion)
+{
+    // Paper: adequate for a ~114x increase in MinION throughput.
+    const pore::ReferenceSquiggle sars(genome::makeSarsCov2(), model());
+    const AsicModel asic(2000, 5);
+    const double headroom =
+        asic.chipThroughputSamplesPerSec(2000, sars.size(), 5) /
+        kMinionMaxSamplesPerSec;
+    EXPECT_GT(headroom, 100.0);
+    EXPECT_LT(headroom, 250.0);
+}
+
+TEST(AsicModel, CheckpointBandwidthNearTenGBs)
+{
+    EXPECT_NEAR(AsicModel::checkpointBandwidthGBsPerTile(), 10.0, 0.5);
+}
+
+TEST(AsicModel, Table4HasAllComponents)
+{
+    const AsicModel asic(2000, 5);
+    const auto rows = asic.breakdown();
+    EXPECT_EQ(rows.size(), 7u);
+    const std::string rendered = asic.table4().render();
+    EXPECT_NE(rendered.find("Normalizer"), std::string::npos);
+    EXPECT_NE(rendered.find("5-Tile"), std::string::npos);
+}
+
+TEST(AsicModel, InvalidConfigIsFatal)
+{
+    EXPECT_THROW(AsicModel(0, 5), FatalError);
+    EXPECT_THROW(AsicModel(2000, 0), FatalError);
+}
+
+} // namespace
+} // namespace sf::hw

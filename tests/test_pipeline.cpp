@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Integration tests: the pipeline cost model (Figure 5), device
+ * tables, shared experiment fixtures, and the end-to-end virus
+ * detection pipeline (SquiggleFilter -> basecall -> align ->
+ * assemble -> variants).
+ */
+
+#include <gtest/gtest.h>
+
+#include "basecall/oracle.hpp"
+#include "common/logging.hpp"
+#include "genome/mutate.hpp"
+#include "pipeline/cost_model.hpp"
+#include "pipeline/devices.hpp"
+#include "pipeline/experiments.hpp"
+#include "pipeline/virus_pipeline.hpp"
+
+namespace sf::pipeline {
+namespace {
+
+TEST(Devices, Table3RowsPresent)
+{
+    const auto &devices = evaluatedDevices();
+    ASSERT_EQ(devices.size(), 4u);
+    EXPECT_EQ(devices[0].model, "Jetson AGX Xavier");
+    EXPECT_EQ(devices[2].cores, 3840);
+    EXPECT_EQ(devices[2].clockMHz, 1582.0);
+}
+
+TEST(Devices, RoadmapScalesToHundredX)
+{
+    const auto &roadmap = sequencerRoadmap();
+    EXPECT_DOUBLE_EQ(roadmap.front().relativeToMinion, 1.0);
+    EXPECT_DOUBLE_EQ(roadmap.back().relativeToMinion, 100.0);
+}
+
+TEST(CostModel, BasecallingDominatesAsInFigure5)
+{
+    const basecall::BasecallerPerfModel lite(
+        basecall::BasecallerKind::GuppyLite,
+        basecall::Device::TitanXp);
+    const PipelineCostModel model(lite);
+
+    AssemblyWorkload one_pct;
+    one_pct.targetFraction = 0.01;
+    AssemblyWorkload tenth_pct;
+    tenth_pct.targetFraction = 0.001;
+
+    const auto b1 = model.breakdown(one_pct);
+    const auto b01 = model.breakdown(tenth_pct);
+    // Paper: ~96% of compute is basecalling.
+    EXPECT_GT(b1.basecallFraction(), 0.85);
+    EXPECT_GT(b01.basecallFraction(), 0.93);
+    // Variant calling fixed, so its share shrinks at 0.1%.
+    EXPECT_LT(b01.variantCallSec / b01.total(),
+              b1.variantCallSec / b1.total());
+    // 10x less virus => ~10x more reads to basecall.
+    EXPECT_NEAR(b01.basecallSec / b1.basecallSec, 10.0, 0.5);
+}
+
+TEST(CostModel, FilterSlashesBasecallLoad)
+{
+    const basecall::BasecallerPerfModel lite(
+        basecall::BasecallerKind::GuppyLite,
+        basecall::Device::TitanXp);
+    const PipelineCostModel model(lite);
+    AssemblyWorkload workload;
+    workload.targetFraction = 0.01;
+
+    const auto full = model.breakdown(workload);
+    const auto filtered =
+        model.breakdownWithFilter(workload, 0.95, 0.05);
+    EXPECT_LT(filtered.basecallSec, 0.12 * full.basecallSec);
+}
+
+TEST(CostModel, InvalidFractionIsFatal)
+{
+    const basecall::BasecallerPerfModel lite(
+        basecall::BasecallerKind::GuppyLite,
+        basecall::Device::TitanXp);
+    const PipelineCostModel model(lite);
+    AssemblyWorkload bad;
+    bad.targetFraction = 0.0;
+    EXPECT_THROW(model.totalReads(bad), FatalError);
+}
+
+TEST(Experiments, FixturesAreCachedAndConsistent)
+{
+    EXPECT_EQ(&lambdaGenome(), &lambdaGenome());
+    EXPECT_EQ(lambdaGenome().size(), 48502u);
+    EXPECT_EQ(sarsCov2Genome().size(), 29903u);
+    EXPECT_EQ(lambdaSquiggle().referenceBases(), 48502u);
+    EXPECT_GE(scaledReads(100), 10u);
+}
+
+TEST(Experiments, DatasetsBalancedAndDeterministic)
+{
+    const auto a = makeLambdaDataset(10, 5);
+    const auto b = makeLambdaDataset(10, 5);
+    EXPECT_EQ(a.reads.size(), 20u);
+    ASSERT_EQ(a.reads.size(), b.reads.size());
+    for (std::size_t i = 0; i < a.reads.size(); ++i)
+        EXPECT_EQ(a.reads[i].raw, b.reads[i].raw);
+    // Balanced within binomial noise.
+    EXPECT_NEAR(double(a.targetCount()), 10.0, 6.0);
+}
+
+class EndToEndTest : public ::testing::Test
+{
+  protected:
+    EndToEndTest()
+        : basecaller_(basecall::guppyHacProfile())
+    {}
+
+    basecall::OracleBasecaller basecaller_;
+};
+
+TEST_F(EndToEndTest, AssemblesCovidFromMixedSpecimen)
+{
+    // 50% viral keeps the test fast while exercising every stage:
+    // ~110 viral reads x ~1.8 kb = ~6x available coverage.
+    const auto specimen = makeSpecimen(0.5, 220, 0xe2e);
+
+    PipelineOptions options;
+    options.coverageTarget = 4.0; // modest but non-trivial
+    VirusDetectionPipeline pipeline(sarsCov2Genome(),
+                                    sarsCov2Squiggle(), basecaller_,
+                                    options);
+    const auto report = pipeline.run(specimen);
+
+    EXPECT_GT(report.readsKept, 0u);
+    EXPECT_GT(report.readsAligned, 0u);
+    EXPECT_GT(report.filterDecisions.f1(), 0.8);
+    EXPECT_TRUE(report.coverageReached);
+    EXPECT_GT(report.assembly.meanCoverage, 4.0);
+    // Reads are drawn from the reference itself: no variants expected
+    // at reasonable coverage.
+    EXPECT_LE(report.variants.size(), 3u);
+    EXPECT_GT(report.modeledRuntime.enrichment, 1.0);
+}
+
+TEST_F(EndToEndTest, FilterDisabledStillAssembles)
+{
+    const auto specimen = makeSpecimen(0.5, 160, 0xe2f);
+    PipelineOptions options;
+    options.useSquiggleFilter = false;
+    options.coverageTarget = 3.0;
+    VirusDetectionPipeline pipeline(sarsCov2Genome(),
+                                    sarsCov2Squiggle(), basecaller_,
+                                    options);
+    const auto report = pipeline.run(specimen);
+    EXPECT_EQ(report.readsKept, report.readsProcessed);
+    EXPECT_TRUE(report.coverageReached);
+    EXPECT_DOUBLE_EQ(report.modeledRuntime.enrichment, 1.0);
+}
+
+TEST_F(EndToEndTest, DetectsStrainVariantsEndToEnd)
+{
+    // Sequence a mutated strain, assemble against the Wuhan-style
+    // reference, and demand the injected SNPs come back (Table 2's
+    // machinery on the full pipeline).
+    genome::MutationSpec spec;
+    spec.substitutions = 12;
+    spec.seed = 0xabc;
+    const auto strain =
+        genome::mutate(sarsCov2Genome(), spec, "clade-test");
+
+    const signal::DatasetGenerator generator(
+        strain.genome, humanBackground(), defaultSimulator());
+    signal::DatasetSpec data_spec;
+    data_spec.numReads = 340;
+    data_spec.targetFraction = 0.5;
+    data_spec.targetLengths = {2600.0, 0.4, 1200, 9000};
+    data_spec.seed = 0xddd;
+    const auto specimen = generator.generate(data_spec);
+
+    PipelineOptions options;
+    options.coverageTarget = 12.0;
+    VirusDetectionPipeline pipeline(sarsCov2Genome(),
+                                    sarsCov2Squiggle(), basecaller_,
+                                    options);
+    const auto report = pipeline.run(specimen);
+    ASSERT_TRUE(report.coverageReached);
+
+    std::size_t recovered = 0;
+    for (const auto &truth : strain.variants) {
+        for (const auto &called : report.variants) {
+            if (called.position == truth.position &&
+                called.alt == truth.alt) {
+                ++recovered;
+                break;
+            }
+        }
+    }
+    EXPECT_GE(recovered, strain.variants.size() - 2);
+}
+
+} // namespace
+} // namespace sf::pipeline

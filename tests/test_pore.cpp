@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for sf::pore — the k-mer current model and the reference
+ * squiggle builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fixed.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "genome/synthetic.hpp"
+#include "pore/kmer_model.hpp"
+#include "pore/reference_squiggle.hpp"
+
+namespace sf::pore {
+namespace {
+
+const KmerModel &
+model()
+{
+    static const KmerModel m = KmerModel::makeR941();
+    return m;
+}
+
+TEST(KmerModel, Deterministic)
+{
+    const KmerModel a = KmerModel::makeR941();
+    const KmerModel b = KmerModel::makeR941();
+    for (std::size_t i = 0; i < KmerModel::kNumKmers; i += 97)
+        EXPECT_EQ(a.levelPa(i), b.levelPa(i));
+}
+
+TEST(KmerModel, LevelsInPlausibleCurrentRange)
+{
+    RunningStats stats;
+    for (std::size_t i = 0; i < KmerModel::kNumKmers; ++i) {
+        stats.add(model().levelPa(i));
+        EXPECT_GT(model().stdvPa(i), 0.0f);
+        EXPECT_LT(model().stdvPa(i), 5.0f);
+    }
+    // R9.4.1 levels span roughly 60-130 pA.
+    EXPECT_GT(stats.min(), 40.0);
+    EXPECT_LT(stats.max(), 160.0);
+    EXPECT_NEAR(stats.mean(), 92.0, 5.0);
+    EXPECT_GT(stats.stdev(), 5.0);
+}
+
+TEST(KmerModel, HomopolymersOrderedByBaseContribution)
+{
+    // poly-A (index 0) must sit below poly-T (all ones) since A
+    // contributes negatively and T positively.
+    const std::size_t poly_a = 0;
+    const std::size_t poly_t = KmerModel::kNumKmers - 1;
+    EXPECT_LT(model().levelPa(poly_a), model().levelPa(poly_t));
+}
+
+TEST(KmerModel, AdjacentKmersCorrelated)
+{
+    // k-mers sharing 5 bases should have more similar levels than
+    // random pairs: compare mean |delta| of chain neighbours vs the
+    // table's overall spread.
+    const genome::Genome g =
+        genome::makeSynthetic("t", {.length = 3000, .seed = 31});
+    const auto signal = model().expectedSignalPa(g.bases());
+    RunningStats neighbour;
+    for (std::size_t i = 1; i < signal.size(); ++i)
+        neighbour.add(std::abs(double(signal[i]) - double(signal[i - 1])));
+    // Random pairs differ by ~sigma*2/sqrt(pi) ~ 12 pA; neighbours
+    // sharing 5 of 6 bases must be noticeably closer.
+    EXPECT_LT(neighbour.mean(), 1.25 * model().tableStdvPa());
+}
+
+TEST(KmerModel, KmerIndexMatchesRolling)
+{
+    const genome::Genome g =
+        genome::makeSynthetic("t", {.length = 500, .seed = 32});
+    std::size_t rolled = KmerModel::kmerIndex(g.bases(), 0);
+    for (std::size_t i = 1; i + KmerModel::kK <= g.size(); ++i) {
+        rolled = KmerModel::rollKmer(rolled,
+                                     g.bases()[i + KmerModel::kK - 1]);
+        EXPECT_EQ(rolled, KmerModel::kmerIndex(g.bases(), i));
+    }
+}
+
+TEST(KmerModel, ExpectedSignalLength)
+{
+    const genome::Genome g =
+        genome::makeSynthetic("t", {.length = 100, .seed = 33});
+    EXPECT_EQ(model().expectedSignalPa(g.bases()).size(),
+              g.size() - KmerModel::kK + 1);
+    EXPECT_TRUE(model()
+                    .expectedSignalPa(std::vector<genome::Base>(3))
+                    .empty());
+}
+
+TEST(ZNormalize, ProducesZeroMeanUnitVariance)
+{
+    const genome::Genome g =
+        genome::makeSynthetic("t", {.length = 5000, .seed = 34});
+    auto signal = model().expectedSignalPa(g.bases());
+    zNormalize(signal);
+    RunningStats stats;
+    for (float s : signal)
+        stats.add(s);
+    EXPECT_NEAR(stats.mean(), 0.0, 1e-4);
+    EXPECT_NEAR(stats.stdev(), 1.0, 1e-4);
+}
+
+TEST(ZNormalize, ConstantSignalDoesNotDivideByZero)
+{
+    std::vector<float> signal(100, 42.0f);
+    zNormalize(signal);
+    for (float s : signal)
+        EXPECT_FLOAT_EQ(s, 0.0f);
+}
+
+TEST(ReferenceSquiggle, BothStrandsDoubleLength)
+{
+    const genome::Genome g =
+        genome::makeSynthetic("t", {.length = 1000, .seed = 35});
+    const std::size_t one = g.size() - KmerModel::kK + 1;
+    const ReferenceSquiggle both(g, model(), true);
+    const ReferenceSquiggle fwd(g, model(), false);
+    EXPECT_EQ(fwd.size(), one);
+    EXPECT_EQ(both.size(), 2 * one);
+    EXPECT_EQ(both.strandBoundary(), one);
+    EXPECT_TRUE(both.bothStrands());
+    EXPECT_FALSE(fwd.bothStrands());
+}
+
+TEST(ReferenceSquiggle, QuantizedTracksFloat)
+{
+    const genome::Genome g =
+        genome::makeSynthetic("t", {.length = 2000, .seed = 36});
+    const ReferenceSquiggle ref(g, model());
+    ASSERT_EQ(ref.samples().size(), ref.floatSamples().size());
+    for (std::size_t i = 0; i < ref.size(); i += 13) {
+        EXPECT_NEAR(dequantizeNorm(ref.samples()[i]),
+                    double(ref.floatSamples()[i]), 1.0 / kNormScale + 1e-6);
+    }
+}
+
+TEST(ReferenceSquiggle, SarsCov2SampleCountMatchesPaper)
+{
+    // ~60,000 reference samples for SARS-CoV-2 (paper §5.1): the
+    // 29,903-base genome over both strands.
+    const ReferenceSquiggle ref(genome::makeSarsCov2(), model());
+    EXPECT_EQ(ref.size(), 2 * (29903 - KmerModel::kK + 1));
+    EXPECT_NEAR(double(ref.size()), 60000.0, 1000.0);
+}
+
+TEST(ReferenceSquiggle, LambdaSampleCountMatchesPaper)
+{
+    // ~97,000 reference samples for lambda phage (48,502 bases).
+    const ReferenceSquiggle ref(genome::makeLambdaPhage(), model());
+    EXPECT_EQ(ref.size(), 2 * (48502 - KmerModel::kK + 1));
+    EXPECT_NEAR(double(ref.size()), 97000.0, 1000.0);
+}
+
+TEST(ReferenceSquiggle, TooShortReferenceIsFatal)
+{
+    const genome::Genome tiny("tiny", std::string("ACG"));
+    EXPECT_THROW(ReferenceSquiggle(tiny, model()), FatalError);
+}
+
+} // namespace
+} // namespace sf::pore

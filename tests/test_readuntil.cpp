@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the Read Until substrate: analytical runtime model,
+ * discrete-event sequencer simulation, cross-validation between the
+ * two, and the flow-cell wear model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "readuntil/flowcell.hpp"
+#include "readuntil/model.hpp"
+#include "readuntil/sequencer.hpp"
+
+namespace sf::readuntil {
+namespace {
+
+SequencingParams
+defaultParams()
+{
+    SequencingParams params;
+    params.targetFraction = 0.01;
+    params.genomeBases = 29903.0;
+    params.coverage = 30.0;
+    return params;
+}
+
+TEST(Model, PerfectClassifierGivesLargeSpeedup)
+{
+    const ReadUntilModel model(defaultParams());
+    ClassifierParams perfect;
+    perfect.tpr = 1.0;
+    perfect.fpr = 0.0;
+    const auto with = model.withReadUntil(perfect);
+    const auto without = model.withoutReadUntil();
+    EXPECT_LT(with.hours, without.hours);
+    // Ejecting 6 kb background reads after ~0.5 s + eject overhead
+    // yields a several-fold speedup at 1% viral fraction.
+    EXPECT_GT(with.enrichment, 3.0);
+    EXPECT_LT(with.enrichment, 20.0);
+}
+
+TEST(Model, UselessClassifierIsNeutral)
+{
+    const ReadUntilModel model(defaultParams());
+    ClassifierParams keep_everything;
+    keep_everything.tpr = 1.0;
+    keep_everything.fpr = 1.0;
+    const auto with = model.withReadUntil(keep_everything);
+    const auto without = model.withoutReadUntil();
+    EXPECT_NEAR(with.hours, without.hours, without.hours * 0.02);
+}
+
+TEST(Model, LowerViralFractionTakesLonger)
+{
+    auto params = defaultParams();
+    const ReadUntilModel one_pct(params);
+    params.targetFraction = 0.001;
+    const ReadUntilModel tenth_pct(params);
+    EXPECT_GT(tenth_pct.withoutReadUntil().hours,
+              5.0 * one_pct.withoutReadUntil().hours);
+}
+
+TEST(Model, ReadUntilBenefitGrowsAsFractionShrinks)
+{
+    ClassifierParams good;
+    good.tpr = 0.95;
+    good.fpr = 0.05;
+    auto params = defaultParams();
+    const double e1 =
+        ReadUntilModel(params).withReadUntil(good).enrichment;
+    params.targetFraction = 0.001;
+    const double e01 =
+        ReadUntilModel(params).withReadUntil(good).enrichment;
+    EXPECT_GT(e01, e1);
+}
+
+TEST(Model, FalseNegativesHurtRuntime)
+{
+    const ReadUntilModel model(defaultParams());
+    ClassifierParams lossy;
+    lossy.tpr = 0.5; // half the targets thrown away
+    lossy.fpr = 0.0;
+    ClassifierParams keen;
+    keen.tpr = 1.0;
+    keen.fpr = 0.0;
+    EXPECT_GT(model.withReadUntil(lossy).hours,
+              1.5 * model.withReadUntil(keen).hours);
+}
+
+TEST(Model, DecisionLatencyErodesBenefit)
+{
+    const ReadUntilModel model(defaultParams());
+    ClassifierParams instant;
+    instant.tpr = 0.95;
+    instant.fpr = 0.05;
+    ClassifierParams slow = instant;
+    slow.decisionLatencySec = 1.0; // Guppy-class latency
+    EXPECT_LT(model.withReadUntil(instant).hours,
+              model.withReadUntil(slow).hours);
+}
+
+TEST(Model, PartialChannelCoverageInterpolates)
+{
+    const ReadUntilModel model(defaultParams());
+    ClassifierParams good;
+    good.tpr = 0.95;
+    good.fpr = 0.05;
+    ClassifierParams half = good;
+    half.channelCoverage = 0.5;
+    ClassifierParams none = good;
+    none.channelCoverage = 0.0;
+
+    const double full_h = model.withReadUntil(good).hours;
+    const double half_h = model.withReadUntil(half).hours;
+    const double none_h = model.withReadUntil(none).hours;
+    EXPECT_LT(full_h, half_h);
+    EXPECT_LT(half_h, none_h);
+    EXPECT_NEAR(none_h, model.withoutReadUntil().hours,
+                none_h * 0.02);
+}
+
+TEST(Model, ThroughputScalingShrinksRuntime)
+{
+    auto params = defaultParams();
+    params.throughputScale = 10.0;
+    const ReadUntilModel scaled(params);
+    const ReadUntilModel baseline(defaultParams());
+    const double ratio = baseline.withoutReadUntil().hours /
+                         scaled.withoutReadUntil().hours;
+    // Capture time does not scale, so the speedup is sub-linear.
+    EXPECT_GT(ratio, 4.0);
+    EXPECT_LT(ratio, 10.0);
+}
+
+TEST(Model, InvalidParamsAreFatal)
+{
+    SequencingParams bad = defaultParams();
+    bad.targetFraction = 1.5;
+    EXPECT_THROW(ReadUntilModel{bad}, FatalError);
+    bad = defaultParams();
+    bad.channels = 0;
+    EXPECT_THROW(ReadUntilModel{bad}, FatalError);
+}
+
+TEST(Sim, ReachesCoverageAndAgreesWithModelBaseline)
+{
+    auto params = defaultParams();
+    params.targetFraction = 0.05; // keep the sim fast
+    SequencerSim sim(params, 42);
+    const auto sim_result = sim.runWithoutReadUntil();
+    ASSERT_TRUE(sim_result.reachedCoverage);
+
+    const ReadUntilModel model(params);
+    const auto est = model.withoutReadUntil();
+    // Analytical model within 25% of the discrete-event simulation.
+    EXPECT_NEAR(sim_result.hours, est.hours, est.hours * 0.25);
+}
+
+TEST(Sim, ReadUntilAgreesWithModel)
+{
+    auto params = defaultParams();
+    params.targetFraction = 0.05;
+    ClassifierParams classifier;
+    classifier.tpr = 0.9;
+    classifier.fpr = 0.1;
+
+    SequencerSim sim(params, 43);
+    const auto sim_result = sim.runWithReadUntil(classifier);
+    ASSERT_TRUE(sim_result.reachedCoverage);
+
+    const ReadUntilModel model(params);
+    const auto est = model.withReadUntil(classifier);
+    EXPECT_NEAR(sim_result.hours, est.hours, est.hours * 0.3);
+    EXPECT_GT(sim_result.readsEjected, 0u);
+    EXPECT_GT(sim_result.targetsLost, 0u);
+}
+
+TEST(Sim, ReadUntilFasterThanControl)
+{
+    auto params = defaultParams();
+    params.targetFraction = 0.02;
+    ClassifierParams classifier;
+    classifier.tpr = 0.95;
+    classifier.fpr = 0.05;
+
+    const auto with =
+        SequencerSim(params, 44).runWithReadUntil(classifier);
+    const auto without = SequencerSim(params, 44).runWithoutReadUntil();
+    ASSERT_TRUE(with.reachedCoverage);
+    ASSERT_TRUE(without.reachedCoverage);
+    EXPECT_LT(with.hours, without.hours);
+    EXPECT_LT(with.sequencedBases, without.sequencedBases);
+}
+
+TEST(Sim, DeterministicPerSeed)
+{
+    auto params = defaultParams();
+    params.targetFraction = 0.05;
+    const auto a = SequencerSim(params, 7).runWithoutReadUntil();
+    const auto b = SequencerSim(params, 7).runWithoutReadUntil();
+    EXPECT_DOUBLE_EQ(a.hours, b.hours);
+    EXPECT_EQ(a.readsCaptured, b.readsCaptured);
+}
+
+TEST(Sim, TimeoutReturnsCap)
+{
+    auto params = defaultParams();
+    params.targetFraction = 1e-6; // essentially never finishes
+    SequencerSim sim(params, 45);
+    const auto result = sim.runWithoutReadUntil(0.01);
+    EXPECT_FALSE(result.reachedCoverage);
+    EXPECT_DOUBLE_EQ(result.hours, 0.01);
+}
+
+TEST(Flowcell, WashRestoresBothRunsEqually)
+{
+    FlowcellWearParams params;
+    const auto trace = simulateFlowcellWear(params);
+    ASSERT_GT(trace.size(), 10u);
+
+    // Channels decay before the wash.
+    const auto &start = trace.front();
+    EXPECT_EQ(start.controlChannels, params.initialChannels);
+    auto before_wash = trace.front();
+    auto after_wash = trace.front();
+    for (const auto &sample : trace) {
+        if (sample.hour < params.washHour)
+            before_wash = sample;
+        if (sample.hour >= params.washHour + 1.0 &&
+            after_wash.hour < params.washHour) {
+            after_wash = sample;
+        }
+    }
+    EXPECT_LT(before_wash.controlChannels, params.initialChannels);
+    // Wash + re-mux recovers channels.
+    EXPECT_GT(after_wash.controlChannels,
+              before_wash.controlChannels);
+
+    // Figure 20's claim: after the wash, control and Read Until have
+    // nearly equal channel counts.
+    const auto &end = trace.back();
+    EXPECT_NEAR(double(end.readUntilChannels),
+                double(end.controlChannels),
+                0.08 * double(params.initialChannels));
+}
+
+TEST(Flowcell, InvalidParamsAreFatal)
+{
+    FlowcellWearParams params;
+    params.initialChannels = 0;
+    EXPECT_THROW(simulateFlowcellWear(params), FatalError);
+}
+
+} // namespace
+} // namespace sf::readuntil

@@ -1,0 +1,552 @@
+/**
+ * @file
+ * Unit and property tests for the core sDTW module: the vanilla
+ * oracle, the rolling engines, the normalisers, the classifier and
+ * threshold calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "genome/synthetic.hpp"
+#include "pore/kmer_model.hpp"
+#include "pore/reference_squiggle.hpp"
+#include "sdtw/engine.hpp"
+#include "sdtw/filter.hpp"
+#include "sdtw/normalizer.hpp"
+#include "sdtw/threshold.hpp"
+#include "sdtw/vanilla.hpp"
+#include "signal/dataset.hpp"
+
+namespace sf::sdtw {
+namespace {
+
+const pore::KmerModel &
+model()
+{
+    static const pore::KmerModel m = pore::KmerModel::makeR941();
+    return m;
+}
+
+std::vector<float>
+randomSignal(std::size_t n, Rng &rng, double lo = -3.0, double hi = 3.0)
+{
+    std::vector<float> out(n);
+    for (auto &s : out)
+        s = float(rng.uniform(lo, hi));
+    return out;
+}
+
+std::vector<NormSample>
+randomQuantSignal(std::size_t n, Rng &rng)
+{
+    std::vector<NormSample> out(n);
+    for (auto &s : out)
+        s = NormSample(rng.uniformInt(-128, 127));
+    return out;
+}
+
+// ---------------------------------------------------------------- //
+//                         vanilla oracle                            //
+// ---------------------------------------------------------------- //
+
+TEST(Vanilla, HandComputedTinyExample)
+{
+    // Q = [1, 2], R = [0, 1, 2, 5].
+    // Row 0: (1-0)^2=1, (1-1)^2=0, (1-2)^2=1, (1-5)^2=16
+    // Row 1: col0 = 1 + 4 = 5
+    //        col1 = (2-1)^2 + min(1, 5, 0) = 1
+    //        col2 = (2-2)^2 + min(0, 1, 1) = 0
+    //        col3 = (2-5)^2 + min(1, 0, 16) = 9
+    const auto result = vanillaSdtw({1.0f, 2.0f},
+                                    {0.0f, 1.0f, 2.0f, 5.0f});
+    EXPECT_DOUBLE_EQ(result.cost, 0.0);
+    EXPECT_EQ(result.refEnd, 2u);
+}
+
+TEST(Vanilla, ExactSubsequenceCostsZero)
+{
+    Rng rng(1);
+    const auto ref = randomSignal(200, rng);
+    const std::vector<float> query(ref.begin() + 50, ref.begin() + 90);
+    const auto result = vanillaSdtw(query, ref);
+    EXPECT_DOUBLE_EQ(result.cost, 0.0);
+    EXPECT_EQ(result.refEnd, 89u);
+}
+
+TEST(Vanilla, CostNonNegativeAndBounded)
+{
+    Rng rng(2);
+    const auto query = randomSignal(30, rng);
+    const auto ref = randomSignal(100, rng);
+    const auto result = vanillaSdtw(query, ref);
+    EXPECT_GE(result.cost, 0.0);
+    // Upper bound: aligning straight down any single column.
+    double worst = 0.0;
+    for (float q : query) {
+        const double d = double(q) - double(ref[0]);
+        worst += d * d;
+    }
+    EXPECT_LE(result.cost, worst + 1e-9);
+}
+
+TEST(Vanilla, EmptyInputIsFatal)
+{
+    EXPECT_THROW(vanillaSdtw({}, {1.0f}), FatalError);
+    EXPECT_THROW(vanillaSdtw({1.0f}, {}), FatalError);
+}
+
+TEST(Vanilla, MatrixMatchesRecurrenceSpotChecks)
+{
+    Rng rng(3);
+    const auto query = randomSignal(8, rng);
+    const auto ref = randomSignal(12, rng);
+    const auto s = vanillaSdtwMatrix(query, ref);
+    const std::size_t m = ref.size();
+    auto dist = [&](std::size_t i, std::size_t j) {
+        const double d = double(query[i]) - double(ref[j]);
+        return d * d;
+    };
+    for (std::size_t i = 1; i < query.size(); ++i) {
+        for (std::size_t j = 1; j < m; ++j) {
+            const double expect =
+                dist(i, j) + std::min({s[(i - 1) * m + j - 1],
+                                       s[i * m + j - 1],
+                                       s[(i - 1) * m + j]});
+            EXPECT_NEAR(s[i * m + j], expect, 1e-12);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+//                       engine vs oracle                            //
+// ---------------------------------------------------------------- //
+
+class EngineOracleTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(EngineOracleTest, FloatEngineWithVanillaConfigMatchesOracle)
+{
+    Rng rng(GetParam());
+    const auto n = std::size_t(rng.uniformInt(1, 60));
+    const auto m = std::size_t(rng.uniformInt(1, 200));
+    const auto query = randomSignal(n, rng);
+    const auto ref = randomSignal(m, rng);
+
+    const FloatSdtw engine(vanillaConfig());
+    const auto got = engine.align(query, ref);
+    const auto want = vanillaSdtw(query, ref);
+    EXPECT_NEAR(got.cost, want.cost, 1e-9);
+    EXPECT_EQ(got.refEnd, want.refEnd);
+}
+
+TEST_P(EngineOracleTest, RemovingRefDeletionsNeverLowersCost)
+{
+    Rng rng(GetParam() ^ 0xabcdULL);
+    const auto query = randomSignal(std::size_t(rng.uniformInt(2, 50)),
+                                    rng);
+    const auto ref = randomSignal(std::size_t(rng.uniformInt(2, 150)),
+                                  rng);
+
+    SdtwConfig with = vanillaConfig();
+    SdtwConfig without = vanillaConfig();
+    without.allowReferenceDeletion = false;
+    const auto c_with = FloatSdtw(with).align(query, ref).cost;
+    const auto c_without = FloatSdtw(without).align(query, ref).cost;
+    EXPECT_LE(c_with, c_without + 1e-9);
+}
+
+TEST_P(EngineOracleTest, ChunkedProcessingEqualsOneShot)
+{
+    Rng rng(GetParam() ^ 0x5555ULL);
+    const auto n = std::size_t(rng.uniformInt(4, 120));
+    const auto m = std::size_t(rng.uniformInt(4, 150));
+    const auto query = randomQuantSignal(n, rng);
+    const auto ref = randomQuantSignal(m, rng);
+
+    const QuantSdtw engine(hardwareConfig());
+    const auto one_shot = engine.align(query, ref);
+
+    QuantSdtw::State state;
+    QuantSdtw::Result chunked{};
+    std::size_t offset = 0;
+    while (offset < n) {
+        const auto len =
+            std::min<std::size_t>(std::size_t(rng.uniformInt(1, 40)),
+                                  n - offset);
+        chunked = engine.process(
+            std::span<const NormSample>(query).subspan(offset, len), ref,
+            state);
+        offset += len;
+    }
+    EXPECT_EQ(chunked.cost, one_shot.cost);
+    EXPECT_EQ(chunked.refEnd, one_shot.refEnd);
+    EXPECT_EQ(chunked.rows, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineOracleTest,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+TEST(Engine, AbsMetricExactSubsequenceIsZero)
+{
+    Rng rng(10);
+    const auto ref = randomQuantSignal(300, rng);
+    const std::vector<NormSample> query(ref.begin() + 100,
+                                        ref.begin() + 160);
+    SdtwConfig config = hardwareConfig();
+    config.matchBonus = 0.0;
+    const QuantSdtw engine(config);
+    const auto result = engine.align(query, ref);
+    EXPECT_EQ(result.cost, 0u);
+    EXPECT_EQ(result.refEnd, 159u);
+}
+
+TEST(Engine, MatchBonusNeverIncreasesCost)
+{
+    Rng rng(11);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto query = randomQuantSignal(50, rng);
+        const auto ref = randomQuantSignal(120, rng);
+        SdtwConfig off = hardwareConfig();
+        off.matchBonus = 0.0;
+        SdtwConfig on = hardwareConfig();
+        on.matchBonus = 10.0;
+        const auto c_off = QuantSdtw(off).align(query, ref).cost;
+        const auto c_on = QuantSdtw(on).align(query, ref).cost;
+        EXPECT_LE(c_on, c_off);
+    }
+}
+
+TEST(Engine, CostSaturatesInsteadOfWrapping)
+{
+    // Constant far-apart signals cannot overflow Cost.
+    const std::vector<NormSample> query(100, NormSample(127));
+    const std::vector<NormSample> ref(100, NormSample(-128));
+    SdtwConfig config = hardwareConfig();
+    config.metric = CostMetric::SquaredDifference;
+    config.matchBonus = 0.0;
+    const QuantSdtw engine(config);
+    const auto result = engine.align(query, ref);
+    EXPECT_GT(result.cost, 0u);
+    EXPECT_LE(result.cost, kCostMax);
+}
+
+TEST(Engine, SingleSampleQueryPicksNearestReferenceSample)
+{
+    const std::vector<NormSample> query{NormSample(10)};
+    const std::vector<NormSample> ref{NormSample(-50), NormSample(12),
+                                      NormSample(90)};
+    SdtwConfig config = hardwareConfig();
+    config.matchBonus = 0.0;
+    const auto result = QuantSdtw(config).align(query, ref);
+    EXPECT_EQ(result.cost, 2u);
+    EXPECT_EQ(result.refEnd, 1u);
+}
+
+TEST(Engine, MismatchedStateIsFatal)
+{
+    const QuantSdtw engine(hardwareConfig());
+    QuantSdtw::State state;
+    std::vector<NormSample> q(4, 0), ref_a(10, 0), ref_b(11, 0);
+    engine.process(q, ref_a, state);
+    EXPECT_THROW(engine.process(q, ref_b, state), FatalError);
+}
+
+TEST(Engine, InvalidConfigIsFatal)
+{
+    SdtwConfig config;
+    config.dwellCap = 0;
+    EXPECT_THROW(QuantSdtw{config}, FatalError);
+    config = SdtwConfig{};
+    config.matchBonus = -1.0;
+    EXPECT_THROW(QuantSdtw{config}, FatalError);
+}
+
+// ---------------------------------------------------------------- //
+//                          normalisers                              //
+// ---------------------------------------------------------------- //
+
+TEST(Normalizer, ZNormalizeRawHasUnitMoments)
+{
+    Rng rng(20);
+    std::vector<RawSample> raw(4000);
+    for (auto &s : raw)
+        s = RawSample(rng.uniformInt(300, 700));
+    const auto normalized = zNormalizeRaw(raw);
+    RunningStats stats;
+    for (float v : normalized)
+        stats.add(v);
+    EXPECT_NEAR(stats.mean(), 0.0, 1e-6);
+    EXPECT_NEAR(stats.stdev(), 1.0, 1e-6);
+}
+
+TEST(Normalizer, QuantizedTracksFloatNormalizer)
+{
+    Rng rng(21);
+    std::vector<RawSample> raw(2000);
+    for (auto &s : raw)
+        s = RawSample(std::clamp<long>(
+            std::lround(rng.gaussian(500.0, 80.0)), 0, long(kAdcMax)));
+    const auto float_norm = meanMadNormalizeRaw(raw);
+    const auto quant = MeanMadNormalizer::normalize(raw);
+    ASSERT_EQ(float_norm.size(), quant.size());
+    RunningStats err;
+    for (std::size_t i = 0; i < quant.size(); ++i)
+        err.add(std::abs(double(quant[i]) / kNormScale -
+                         double(float_norm[i])));
+    // Q2.5 resolution is 1/32; integer mean/MAD adds a little more.
+    EXPECT_LT(err.mean(), 0.08);
+}
+
+TEST(Normalizer, GainAndOffsetInvariance)
+{
+    // Normalising must cancel per-pore gain/offset (Figure 8c): the
+    // same underlying signal measured with different bias conditions
+    // should normalise to nearly identical values.
+    Rng rng(22);
+    std::vector<double> truth(2000);
+    for (auto &v : truth)
+        v = rng.gaussian(90.0, 12.0);
+
+    auto digitize = [](double pa) {
+        const double code = (pa - 40.0) / 120.0 * double(kAdcMax);
+        return RawSample(std::clamp(code, 0.0, double(kAdcMax)));
+    };
+    std::vector<RawSample> a(truth.size()), b(truth.size());
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        a[i] = digitize(truth[i]);
+        b[i] = digitize(1.12 * truth[i] - 14.0);
+    }
+    const auto na = meanMadNormalizeRaw(a);
+    const auto nb = meanMadNormalizeRaw(b);
+    RunningStats err;
+    for (std::size_t i = 0; i < na.size(); ++i)
+        err.add(std::abs(double(na[i]) - double(nb[i])));
+    EXPECT_LT(err.mean(), 0.05);
+}
+
+TEST(Normalizer, ConstantSignalDoesNotDivideByZero)
+{
+    const std::vector<RawSample> raw(100, RawSample(512));
+    const auto quant = MeanMadNormalizer::normalize(raw);
+    for (auto code : quant)
+        EXPECT_EQ(code, 0);
+}
+
+TEST(Normalizer, OutliersClampToRange)
+{
+    std::vector<RawSample> raw(2000, RawSample(500));
+    Rng rng(23);
+    for (auto &s : raw)
+        s = RawSample(500 + rng.uniformInt(-5, 5));
+    raw[100] = 0;       // rail spikes
+    raw[200] = kAdcMax;
+    const auto quant = MeanMadNormalizer::normalize(raw);
+    EXPECT_EQ(quant[100], -128);
+    EXPECT_EQ(quant[200], 127);
+}
+
+TEST(Normalizer, CumulativeChunkStatisticsConverge)
+{
+    Rng rng(24);
+    std::vector<RawSample> raw(6000);
+    for (auto &s : raw)
+        s = RawSample(std::clamp<long>(
+            std::lround(rng.gaussian(480.0, 60.0)), 0, long(kAdcMax)));
+
+    MeanMadNormalizer chunked;
+    for (std::size_t offset = 0; offset < raw.size(); offset += 2000) {
+        chunked.normalizeChunk(
+            std::span<const RawSample>(raw).subspan(offset, 2000));
+    }
+    MeanMadNormalizer one_shot;
+    one_shot.normalizeChunk(raw);
+    EXPECT_EQ(chunked.totalSamples(), one_shot.totalSamples());
+    EXPECT_NEAR(double(chunked.currentMean()),
+                double(one_shot.currentMean()), 2.0);
+    EXPECT_NEAR(double(chunked.currentMad()),
+                double(one_shot.currentMad()), 3.0);
+}
+
+// ---------------------------------------------------------------- //
+//                    classifier and thresholds                      //
+// ---------------------------------------------------------------- //
+
+class FilterTest : public ::testing::Test
+{
+  protected:
+    FilterTest()
+        : virus_(genome::makeSynthetic("virus", {.length = 12000,
+                                                 .gcContent = 0.42,
+                                                 .seed = 30})),
+          host_(genome::makeSynthetic("host", {.length = 300000,
+                                               .seed = 31})),
+          reference_(virus_, model()), sim_(model()),
+          generator_(virus_, host_, sim_)
+    {}
+
+    signal::Dataset
+    makeData(std::size_t reads, double fraction, std::uint64_t seed)
+    {
+        signal::DatasetSpec spec;
+        spec.numReads = reads;
+        spec.targetFraction = fraction;
+        spec.targetLengths = {1500.0, 0.4, 600, 8000};
+        spec.backgroundLengths = {1500.0, 0.4, 600, 8000};
+        spec.seed = seed;
+        return generator_.generate(spec);
+    }
+
+    genome::Genome virus_;
+    genome::Genome host_;
+    pore::ReferenceSquiggle reference_;
+    signal::SignalSimulator sim_;
+    signal::DatasetGenerator generator_;
+};
+
+TEST_F(FilterTest, CostsSeparateTargetFromBackground)
+{
+    const auto data = makeData(60, 0.5, 32);
+    const auto costs = collectCosts(reference_, data.reads, 2000,
+                                    hardwareConfig());
+    std::vector<double> target, decoy;
+    splitCosts(costs, target, decoy);
+    ASSERT_FALSE(target.empty());
+    ASSERT_FALSE(decoy.empty());
+    // Figure 11: distributions separate with a static threshold.
+    EXPECT_LT(mean(target) * 1.2, mean(decoy));
+    const RocCurve roc(target, decoy, 200);
+    EXPECT_GT(roc.auc(), 0.95);
+}
+
+TEST_F(FilterTest, ClassifierKeepsTargetsAndEjectsBackground)
+{
+    const auto calib = makeData(60, 0.5, 33);
+    const auto costs = collectCosts(reference_, calib.reads, 2000,
+                                    hardwareConfig());
+    const double threshold = bestF1Threshold(costs);
+
+    SquiggleFilterClassifier classifier(reference_);
+    classifier.setSingleStage(2000, Cost(threshold));
+
+    const auto eval = makeData(40, 0.5, 34);
+    ConfusionMatrix cm;
+    for (const auto &read : eval.reads) {
+        const auto result = classifier.classify(read.raw);
+        cm.add(read.isTarget(), result.keep);
+    }
+    EXPECT_GT(cm.f1(), 0.85);
+}
+
+TEST_F(FilterTest, LongerPrefixImprovesSeparation)
+{
+    const auto data = makeData(50, 0.5, 35);
+    auto auc_for = [&](std::size_t prefix) {
+        const auto costs =
+            collectCosts(reference_, data.reads, prefix,
+                         hardwareConfig());
+        return sweepThresholds(costs).auc();
+    };
+    const double short_auc = auc_for(500);
+    const double long_auc = auc_for(4000);
+    EXPECT_GE(long_auc + 0.02, short_auc); // no material regression
+}
+
+TEST_F(FilterTest, MultiStageAgreesWithFinalStageOnConfidentReads)
+{
+    const auto calib = makeData(60, 0.5, 36);
+    const auto c2000 = collectCosts(reference_, calib.reads, 2000,
+                                    hardwareConfig());
+    const auto c1000 = collectCosts(reference_, calib.reads, 1000,
+                                    hardwareConfig());
+    const double t2000 = bestF1Threshold(c2000);
+    // Stage-1 threshold between the calibrated best and the decoy
+    // mean: permissive enough to keep targets, tight enough that
+    // clear non-targets are ejected early.
+    const double t1000 = 1.25 * bestF1Threshold(c1000);
+
+    SquiggleFilterClassifier single(reference_);
+    single.setSingleStage(2000, Cost(t2000));
+    SquiggleFilterClassifier multi(reference_);
+    multi.setStages({{1000, Cost(t1000)}, {2000, Cost(t2000)}});
+
+    const auto eval = makeData(30, 0.5, 37);
+    std::size_t agree = 0, early_ejects = 0;
+    for (const auto &read : eval.reads) {
+        const auto s = single.classify(read.raw);
+        const auto m = multi.classify(read.raw);
+        agree += s.keep == m.keep;
+        early_ejects += (m.stagesRun == 1 && !m.keep);
+        if (m.stagesRun == 1) {
+            EXPECT_LE(m.samplesUsed, 1000u);
+        }
+    }
+    EXPECT_GE(double(agree) / double(eval.reads.size()), 0.9);
+    EXPECT_GT(early_ejects, 0u); // some reads die at stage 1
+}
+
+TEST_F(FilterTest, ScoreMatchesClassifyCost)
+{
+    SquiggleFilterClassifier classifier(reference_);
+    classifier.setSingleStage(2000, 1u << 30);
+    const auto eval = makeData(6, 0.5, 38);
+    for (const auto &read : eval.reads) {
+        if (read.raw.size() < 2000)
+            continue;
+        const auto via_classify = classifier.classify(read.raw);
+        const auto via_score = classifier.score(read.raw, 2000);
+        EXPECT_EQ(via_classify.cost, via_score.cost);
+        EXPECT_EQ(via_classify.refEnd, via_score.refEnd);
+    }
+}
+
+TEST_F(FilterTest, EmptySignalIsKeptForLackOfEvidence)
+{
+    SquiggleFilterClassifier classifier(reference_);
+    const auto result = classifier.classify({});
+    EXPECT_TRUE(result.keep);
+    EXPECT_EQ(result.samplesUsed, 0u);
+}
+
+TEST_F(FilterTest, StagePrefixesMustIncrease)
+{
+    SquiggleFilterClassifier classifier(reference_);
+    EXPECT_THROW(classifier.setStages({{2000, 10}, {1000, 5}}),
+                 FatalError);
+    EXPECT_THROW(classifier.setStages({}), FatalError);
+}
+
+TEST(Threshold, BestF1SeparatesCleanClusters)
+{
+    std::vector<CostSample> costs;
+    for (int i = 0; i < 50; ++i) {
+        costs.push_back({100.0 + i, true});
+        costs.push_back({500.0 + i, false});
+    }
+    const double threshold = bestF1Threshold(costs);
+    EXPECT_GT(threshold, 149.0);
+    EXPECT_LT(threshold, 500.0);
+}
+
+TEST(Threshold, RequiresBothClasses)
+{
+    std::vector<CostSample> only_targets{{1.0, true}};
+    EXPECT_THROW(sweepThresholds(only_targets), FatalError);
+}
+
+TEST(Config, DescribeMentionsSwitches)
+{
+    EXPECT_NE(hardwareConfig().describe().find("abs"),
+              std::string::npos);
+    EXPECT_NE(hardwareConfig().describe().find("bonus"),
+              std::string::npos);
+    EXPECT_NE(vanillaConfig().describe().find("sq"), std::string::npos);
+}
+
+} // namespace
+} // namespace sf::sdtw
