@@ -28,6 +28,78 @@ randomQuant(std::size_t n, std::uint64_t seed)
     return out;
 }
 
+/**
+ * The seed's scalar row update (runtime-branching config, pinned
+ * non-SIMD), kept verbatim as the perf baseline the specialised
+ * engine in sdtw/engine.cpp is measured against.  Arithmetic is
+ * bit-identical to QuantSdtw under hardwareConfig().
+ */
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("no-tree-vectorize")))
+#endif
+std::uint32_t
+scalarSeedSdtw(const std::vector<NormSample> &query,
+               const std::vector<NormSample> &ref,
+               const sdtw::SdtwConfig &config)
+{
+    const std::size_t m = ref.size();
+    const auto cap = std::uint8_t(config.dwellCap);
+    const bool use_bonus = config.matchBonus > 0.0;
+    const auto bonus_unit = Cost(std::llround(config.matchBonus));
+
+    std::vector<Cost> row(m);
+    std::vector<std::uint8_t> dwell(m, 1);
+    auto point_cost = [&](NormSample q, NormSample r) {
+        const int diff = int(q) - int(r);
+        const int ad = diff < 0 ? -diff : diff;
+        return config.metric == sdtw::CostMetric::AbsoluteDifference
+                   ? Cost(ad)
+                   : Cost(ad) * Cost(ad);
+    };
+    for (std::size_t j = 0; j < m; ++j)
+        row[j] = point_cost(query[0], ref[j]);
+
+    std::vector<Cost> next(m);
+    std::vector<std::uint8_t> next_dwell(m);
+    for (std::size_t i = 1; i < query.size(); ++i) {
+        const NormSample q = query[i];
+        next[0] = satAdd(row[0], point_cost(q, ref[0]));
+        next_dwell[0] = std::uint8_t(std::min<int>(dwell[0] + 1, cap));
+        const Cost bonus = use_bonus ? bonus_unit : Cost(0);
+        for (std::size_t j = 1; j < m; ++j) {
+            const Cost reward = bonus * Cost(dwell[j - 1]);
+            const Cost diag = satSub(row[j - 1], reward);
+            const Cost vert = row[j];
+            const bool take_diag = diag <= vert;
+            const Cost best = take_diag ? diag : vert;
+            const auto bumped =
+                std::uint8_t(dwell[j] < cap ? dwell[j] + 1 : cap);
+            next[j] = satAdd(best, point_cost(q, ref[j]));
+            next_dwell[j] = take_diag ? std::uint8_t(1) : bumped;
+        }
+        row.swap(next);
+        dwell.swap(next_dwell);
+    }
+    return *std::min_element(row.begin(), row.end());
+}
+
+void
+BM_QuantSdtwScalarSeed(benchmark::State &state)
+{
+    const auto query = randomQuant(std::size_t(state.range(0)), 1);
+    const auto ref = randomQuant(std::size_t(state.range(1)), 2);
+    const auto config = sdtw::hardwareConfig();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scalarSeedSdtw(query, ref, config));
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            state.range(0) * state.range(1));
+    state.counters["cells/s"] = benchmark::Counter(
+        double(state.range(0)) * double(state.range(1)),
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_QuantSdtwScalarSeed)->Args({500, 10000})->Args({2000, 10000});
+
 void
 BM_QuantSdtw(benchmark::State &state)
 {

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CI entry point: reproduces the tier-1 verify outside developer
+# shells.
+#
+# Usage:
+#   scripts/check.sh          # full verify: configure, build, ctest
+#   scripts/check.sh --smoke  # quick pass: build + brief-output gtest
+#                             # binaries only (no ctest machinery)
+#
+# Both modes exit non-zero on the first failure.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build}"
+
+mode="full"
+if [[ "${1:-}" == "--smoke" ]]; then
+    mode="smoke"
+elif [[ -n "${1:-}" ]]; then
+    echo "usage: $0 [--smoke]" >&2
+    exit 2
+fi
+
+cd "${repo_root}"
+
+# Tier-1 verify, verbatim (see ROADMAP.md).
+cmake -B "${build_dir}" -S .
+cmake --build "${build_dir}" -j
+
+if [[ "${mode}" == "smoke" ]]; then
+    # Brief mode: run each test binary directly with minimal output.
+    for test_bin in "${build_dir}"/test_*; do
+        [[ -x "${test_bin}" ]] || continue
+        echo "== $(basename "${test_bin}")"
+        "${test_bin}" --gtest_brief=1
+    done
+    echo "smoke: all test binaries green"
+else
+    cd "${build_dir}"
+    ctest --output-on-failure -j
+fi

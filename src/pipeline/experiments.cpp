@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <tuple>
 
 #include "genome/synthetic.hpp"
 
@@ -78,6 +82,30 @@ scaledReads(std::size_t base_count)
 
 namespace {
 
+/**
+ * Generation is deterministic in (recipe, size, seed), so identical
+ * requests — tests and benches sharing one fixture, repeated calls
+ * within a suite — are served from a process-wide cache instead of
+ * re-simulating thousands of squiggles.
+ */
+enum class DatasetRecipe { Lambda, Covid, Specimen };
+
+using DatasetKey =
+    std::tuple<DatasetRecipe, std::size_t, std::uint64_t, double>;
+
+const signal::Dataset &
+cachedDataset(const DatasetKey &key,
+              const std::function<signal::Dataset()> &generate)
+{
+    static std::mutex mutex;
+    static std::map<DatasetKey, signal::Dataset> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, generate()).first;
+    return it->second;
+}
+
 signal::Dataset
 makeBalanced(const genome::Genome &target, std::size_t per_class,
              std::uint64_t seed)
@@ -95,31 +123,44 @@ makeBalanced(const genome::Genome &target, std::size_t per_class,
 
 } // namespace
 
-signal::Dataset
+const signal::Dataset &
 makeLambdaDataset(std::size_t per_class, std::uint64_t seed)
+{
+    return cachedDataset(
+        {DatasetRecipe::Lambda, per_class, seed, 0.5},
+        [&] { return generateLambdaDataset(per_class, seed); });
+}
+
+signal::Dataset
+generateLambdaDataset(std::size_t per_class, std::uint64_t seed)
 {
     return makeBalanced(lambdaGenome(), per_class, seed);
 }
 
-signal::Dataset
+const signal::Dataset &
 makeCovidDataset(std::size_t per_class, std::uint64_t seed)
 {
-    return makeBalanced(sarsCov2Genome(), per_class, seed);
+    return cachedDataset(
+        {DatasetRecipe::Covid, per_class, seed, 0.5},
+        [&] { return makeBalanced(sarsCov2Genome(), per_class, seed); });
 }
 
-signal::Dataset
+const signal::Dataset &
 makeSpecimen(double viral_fraction, std::size_t num_reads,
              std::uint64_t seed)
 {
-    const signal::DatasetGenerator generator(
-        sarsCov2Genome(), humanBackground(), defaultSimulator());
-    signal::DatasetSpec spec;
-    spec.numReads = num_reads;
-    spec.targetFraction = viral_fraction;
-    spec.targetLengths = {1800.0, 0.5, 500, 15000};
-    spec.backgroundLengths = {6000.0, 0.55, 500, 40000};
-    spec.seed = seed;
-    return generator.generate(spec);
+    return cachedDataset(
+        {DatasetRecipe::Specimen, num_reads, seed, viral_fraction}, [&] {
+            const signal::DatasetGenerator generator(
+                sarsCov2Genome(), humanBackground(), defaultSimulator());
+            signal::DatasetSpec spec;
+            spec.numReads = num_reads;
+            spec.targetFraction = viral_fraction;
+            spec.targetLengths = {1800.0, 0.5, 500, 15000};
+            spec.backgroundLengths = {6000.0, 0.55, 500, 40000};
+            spec.seed = seed;
+            return generator.generate(spec);
+        });
 }
 
 } // namespace sf::pipeline

@@ -47,21 +47,34 @@ std::size_t scaledReads(std::size_t base_count);
 /**
  * Balanced lambda-vs-human dataset (the paper's Figure 11/17a/18/19
  * substrate): @p per_class target and background reads each.
+ *
+ * Dataset factories memoise on their arguments: generation is
+ * deterministic, so repeated requests (across tests in a suite, or
+ * across experiments in a bench binary) return a reference to one
+ * cached copy instead of re-simulating the squiggles.
  */
-signal::Dataset makeLambdaDataset(std::size_t per_class,
-                                  std::uint64_t seed = 0x11aa);
+const signal::Dataset &makeLambdaDataset(std::size_t per_class,
+                                         std::uint64_t seed = 0x11aa);
+
+/**
+ * Uncached variant of makeLambdaDataset (the same recipe, generated
+ * fresh on every call) — lets tests check that regeneration is
+ * deterministic without the cache short-circuiting the comparison.
+ */
+signal::Dataset generateLambdaDataset(std::size_t per_class,
+                                      std::uint64_t seed = 0x11aa);
 
 /** Balanced SARS-CoV-2-vs-human dataset (Figure 17c). */
-signal::Dataset makeCovidDataset(std::size_t per_class,
-                                 std::uint64_t seed = 0xc0f1);
+const signal::Dataset &makeCovidDataset(std::size_t per_class,
+                                        std::uint64_t seed = 0xc0f1);
 
 /**
  * Metagenomic specimen with realistic viral fraction (1% / 0.1%),
  * used by the end-to-end pipeline runs.
  */
-signal::Dataset makeSpecimen(double viral_fraction,
-                             std::size_t num_reads,
-                             std::uint64_t seed = 0x5bec);
+const signal::Dataset &makeSpecimen(double viral_fraction,
+                                    std::size_t num_reads,
+                                    std::uint64_t seed = 0x5bec);
 
 } // namespace sf::pipeline
 

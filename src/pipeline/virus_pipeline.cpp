@@ -59,27 +59,54 @@ VirusDetectionPipeline::run(const signal::Dataset &specimen)
     assembly::ReferenceGuidedAssembler assembler(
         reference_, aligner_, options_.coverageTarget);
 
-    for (const auto &read : specimen.reads) {
-        ++report.readsProcessed;
+    // Classify a batch of reads at a time — independent alignments
+    // fan out across threads — then consume decisions in read order
+    // so reports are identical to serial classification.  Coverage is
+    // re-checked between batches, bounding wasted filter work once
+    // the target is met.
+    const auto &reads = specimen.reads;
+    const std::size_t batch_size = options_.filterBatchSize > 0
+                                       ? options_.filterBatchSize
+                                       : std::max<std::size_t>(1, reads.size());
+    bool coverage_met = false;
+    for (std::size_t base = 0; base < reads.size() && !coverage_met;
+         base += batch_size) {
+        const std::size_t count =
+            std::min(batch_size, reads.size() - base);
+        const std::span<const signal::ReadRecord> block(
+            reads.data() + base, count);
 
-        bool keep = true;
+        std::vector<sdtw::Classification> decisions;
         if (options_.useSquiggleFilter) {
-            keep = classifier_.classify(read.raw).keep;
-            report.filterDecisions.add(read.isTarget(), keep);
+            decisions =
+                classifier_.processBatch(block, options_.filterThreads);
         }
-        if (!keep)
-            continue;
-        ++report.readsKept;
 
-        const auto bases = basecaller_.callAll(read);
-        if (bases.empty())
-            continue;
-        ++report.readsBasecalled;
+        for (std::size_t k = 0; k < block.size(); ++k) {
+            const auto &read = block[k];
+            ++report.readsProcessed;
 
-        if (assembler.addRead(bases))
-            ++report.readsAligned;
-        if (assembler.coverageReached())
-            break;
+            bool keep = true;
+            if (options_.useSquiggleFilter) {
+                keep = decisions[k].keep;
+                report.filterDecisions.add(read.isTarget(), keep);
+            }
+            if (!keep)
+                continue;
+            ++report.readsKept;
+
+            const auto bases = basecaller_.callAll(read);
+            if (bases.empty())
+                continue;
+            ++report.readsBasecalled;
+
+            if (assembler.addRead(bases))
+                ++report.readsAligned;
+            if (assembler.coverageReached()) {
+                coverage_met = true;
+                break;
+            }
+        }
     }
 
     report.assembly = assembler.stats();

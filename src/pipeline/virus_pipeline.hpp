@@ -35,6 +35,16 @@ struct PipelineOptions
     double coverageTarget = 30.0;
     /** Classifier accuracy assumed when calibrating on-the-fly. */
     std::size_t calibrationReads = 48;
+    /**
+     * Reads classified per SquiggleFilter batch.  Within a batch the
+     * independent alignments fan out across worker threads (modelling
+     * the pore-parallel accelerator tiles); between batches the
+     * pipeline checks whether the coverage target has been met.
+     * 0 = classify the whole specimen in one batch.
+     */
+    std::size_t filterBatchSize = 32;
+    /** Worker threads per filter batch (0 = hardware concurrency). */
+    unsigned filterThreads = 0;
 };
 
 /** End-to-end run report. */

@@ -4,8 +4,18 @@
 #include <cmath>
 #include <cstdio>
 #include <type_traits>
+#include <utility>
 
 #include "common/logging.hpp"
+
+// The DP buffers handed to the row kernel never alias (distinct
+// vectors, swapped between rows); telling the compiler so removes the
+// runtime alias checks that otherwise stop the -O2 vectoriser.
+#if defined(__GNUC__) || defined(__clang__)
+#define SF_RESTRICT __restrict__
+#else
+#define SF_RESTRICT
+#endif
 
 namespace sf::sdtw {
 
@@ -68,6 +78,127 @@ subCostClamped(CostT a, CostT b)
         return satSub(a, b);
 }
 
+/** Pointwise distance with the metric resolved at compile time. */
+template <CostMetric Metric, typename Sample, typename CostT>
+inline CostT
+cellCost(Sample q, Sample r)
+{
+    if constexpr (std::is_floating_point_v<CostT>) {
+        const double diff = double(q) - double(r);
+        if constexpr (Metric == CostMetric::AbsoluteDifference)
+            return CostT(std::abs(diff));
+        else
+            return CostT(diff * diff);
+    } else {
+        // Widen before subtracting so int8 differences cannot overflow;
+        // stay in integers so the inner loop vectorises.
+        const int diff = int(q) - int(r);
+        const int ad = diff < 0 ? -diff : diff;
+        if constexpr (Metric == CostMetric::AbsoluteDifference)
+            return CostT(ad);
+        else
+            return CostT(ad) * CostT(ad);
+    }
+}
+
+/**
+ * Fold one query sample into the DP row.  All three recurrence
+ * switches are template parameters, so each of the eight
+ * configurations compiles to a branch-free inner loop — the quantised
+ * no-reference-deletion variants (what the systolic array implements)
+ * reduce to widen/abs/min/select operations the compiler can
+ * vectorise.  Arithmetic is kept expression-for-expression identical
+ * to the pre-specialisation scalar code: results are bit-exact.
+ */
+template <CostMetric Metric, bool RefDel, bool UseBonus, typename Sample,
+          typename CostT>
+void
+foldRow(Sample q, const Sample *SF_RESTRICT ref, std::size_t m,
+        const CostT *SF_RESTRICT row, const std::uint8_t *SF_RESTRICT dw,
+        CostT *SF_RESTRICT next, std::uint8_t *SF_RESTRICT next_dwell,
+        CostT bonus_unit, std::uint8_t cap)
+{
+    // First column: only the vertical predecessor exists.
+    next[0] = addCost(row[0], cellCost<Metric, Sample, CostT>(q, ref[0]));
+    next_dwell[0] = std::uint8_t(std::min<int>(dw[0] + 1, cap));
+
+    if constexpr (!RefDel) {
+        // Without reference deletions next[j] depends only on the
+        // previous row, so this loop is branchless and carries no
+        // dependency — the compiler can vectorise it.
+        for (std::size_t j = 1; j < m; ++j) {
+            CostT diag = row[j - 1];
+            if constexpr (UseBonus) {
+                // Dwell counters are stored pre-capped, so the reward
+                // is a plain multiply.
+                const CostT reward = bonus_unit * CostT(dw[j - 1]);
+                diag = subCostClamped(diag, reward);
+            }
+            const CostT vert = row[j];
+            const bool take_diag = diag <= vert;
+            const CostT best = take_diag ? diag : vert;
+            const auto bumped = std::uint8_t(dw[j] < cap ? dw[j] + 1 : cap);
+            next[j] =
+                addCost(best, cellCost<Metric, Sample, CostT>(q, ref[j]));
+            next_dwell[j] = take_diag ? std::uint8_t(1) : bumped;
+        }
+    } else {
+        for (std::size_t j = 1; j < m; ++j) {
+            CostT diag = row[j - 1];
+            if constexpr (UseBonus) {
+                const CostT reward =
+                    CostT(bonus_unit * CostT(std::min(dw[j - 1], cap)));
+                diag = subCostClamped(diag, reward);
+            }
+            const CostT vert = row[j];
+
+            CostT best;
+            std::uint8_t dwell;
+            if (diag <= vert) {
+                best = diag;
+                dwell = 1;
+            } else {
+                best = vert;
+                dwell = std::uint8_t(std::min<int>(dw[j] + 1, cap));
+            }
+            if (next[j - 1] < best) {
+                best = next[j - 1];
+                dwell = 1;
+            }
+            next[j] =
+                addCost(best, cellCost<Metric, Sample, CostT>(q, ref[j]));
+            next_dwell[j] = dwell;
+        }
+    }
+}
+
+/**
+ * Resolve the runtime SdtwConfig switches into compile-time template
+ * arguments exactly once per process() call and invoke @p f with
+ * three std::integral_constant tags.
+ */
+template <typename F>
+decltype(auto)
+dispatchConfig(const SdtwConfig &config, bool use_bonus, F &&f)
+{
+    const auto with_bonus = [&](auto metric, auto refdel) {
+        return use_bonus ? f(metric, refdel, std::true_type{})
+                         : f(metric, refdel, std::false_type{});
+    };
+    const auto with_refdel = [&](auto metric) {
+        return config.allowReferenceDeletion
+                   ? with_bonus(metric, std::true_type{})
+                   : with_bonus(metric, std::false_type{});
+    };
+    return config.metric == CostMetric::AbsoluteDifference
+               ? with_refdel(
+                     std::integral_constant<CostMetric,
+                                            CostMetric::AbsoluteDifference>{})
+               : with_refdel(
+                     std::integral_constant<CostMetric,
+                                            CostMetric::SquaredDifference>{});
+}
+
 } // namespace
 
 template <typename Sample, typename CostT>
@@ -88,20 +219,9 @@ template <typename Sample, typename CostT>
 CostT
 SdtwEngine<Sample, CostT>::pointCost(Sample q, Sample r) const
 {
-    if constexpr (std::is_floating_point_v<CostT>) {
-        const double diff = double(q) - double(r);
-        return config_.metric == CostMetric::AbsoluteDifference
-                   ? CostT(std::abs(diff))
-                   : CostT(diff * diff);
-    } else {
-        // Widen before subtracting so int8 differences cannot overflow;
-        // stay in integers so the inner loop vectorises.
-        const int diff = int(q) - int(r);
-        const int ad = diff < 0 ? -diff : diff;
-        return config_.metric == CostMetric::AbsoluteDifference
-                   ? CostT(ad)
-                   : CostT(ad) * CostT(ad);
-    }
+    if (config_.metric == CostMetric::AbsoluteDifference)
+        return cellCost<CostMetric::AbsoluteDifference, Sample, CostT>(q, r);
+    return cellCost<CostMetric::SquaredDifference, Sample, CostT>(q, r);
 }
 
 template <typename Sample, typename CostT>
@@ -136,67 +256,19 @@ SdtwEngine<Sample, CostT>::process(std::span<const Sample> query_chunk,
 
     std::vector<CostT> next(m);
     std::vector<std::uint8_t> next_dwell(m);
-    for (; i < query_chunk.size(); ++i) {
-        const Sample q = query_chunk[i];
-
-        // First column: only the vertical predecessor exists.
-        next[0] = addCost(state.row[0], pointCost(q, reference[0]));
-        next_dwell[0] = std::uint8_t(
-            std::min<int>(state.dwell[0] + 1, cap));
-
-        if (!config_.allowReferenceDeletion) {
-            // Without reference deletions next[j] depends only on the
-            // previous row, so this loop is branchless and carries no
-            // dependency — the compiler can vectorise it.
-            const CostT *row = state.row.data();
-            const std::uint8_t *dw = state.dwell.data();
-            const CostT bonus = use_bonus ? bonusUnit_ : CostT(0);
-            for (std::size_t j = 1; j < m; ++j) {
-                // Dwell counters are stored pre-capped, so the reward
-                // is a plain multiply.
-                const CostT reward = bonus * CostT(dw[j - 1]);
-                const CostT diag = subCostClamped(row[j - 1], reward);
-                const CostT vert = row[j];
-                const bool take_diag = diag <= vert;
-                const CostT best = take_diag ? diag : vert;
-                const auto bumped =
-                    std::uint8_t(dw[j] < cap ? dw[j] + 1 : cap);
-                next[j] = addCost(best, pointCost(q, reference[j]));
-                next_dwell[j] = take_diag ? std::uint8_t(1) : bumped;
-            }
-        } else {
-            for (std::size_t j = 1; j < m; ++j) {
-                CostT diag = state.row[j - 1];
-                if (use_bonus) {
-                    const CostT reward = CostT(
-                        bonusUnit_ *
-                        CostT(std::min(state.dwell[j - 1], cap)));
-                    diag = subCostClamped(diag, reward);
-                }
-                const CostT vert = state.row[j];
-
-                CostT best;
-                std::uint8_t dwell;
-                if (diag <= vert) {
-                    best = diag;
-                    dwell = 1;
-                } else {
-                    best = vert;
-                    dwell = std::uint8_t(
-                        std::min<int>(state.dwell[j] + 1, cap));
-                }
-                if (next[j - 1] < best) {
-                    best = next[j - 1];
-                    dwell = 1;
-                }
-                next[j] = addCost(best, pointCost(q, reference[j]));
-                next_dwell[j] = dwell;
-            }
+    dispatchConfig(config_, use_bonus, [&](auto metric, auto refdel,
+                                           auto bonus) {
+        const Sample *ref = reference.data();
+        for (; i < query_chunk.size(); ++i) {
+            foldRow<metric.value, refdel.value, bonus.value>(
+                query_chunk[i], ref, m, state.row.data(),
+                state.dwell.data(), next.data(), next_dwell.data(),
+                bonusUnit_, cap);
+            state.row.swap(next);
+            state.dwell.swap(next_dwell);
+            ++state.rowsDone;
         }
-        state.row.swap(next);
-        state.dwell.swap(next_dwell);
-        ++state.rowsDone;
-    }
+    });
 
     Result result;
     result.rows = state.rowsDone;

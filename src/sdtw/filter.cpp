@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 
 namespace sf::sdtw {
 
@@ -90,6 +91,21 @@ SquiggleFilterClassifier::classify(std::span<const RawSample> raw) const
     }
     result.keep = true;
     return result;
+}
+
+std::vector<Classification>
+SquiggleFilterClassifier::processBatch(
+    std::span<const signal::ReadRecord> reads,
+    unsigned max_threads) const
+{
+    std::vector<Classification> results(reads.size());
+    // classify() keeps all mutable state (normalizer, DP rows) on the
+    // worker's stack, so reads can fan out without synchronisation.
+    parallelFor(
+        reads.size(),
+        [&](std::size_t i) { results[i] = classify(reads[i].raw); },
+        max_threads);
+    return results;
 }
 
 QuantSdtw::Result

@@ -22,6 +22,7 @@
 #include "pore/reference_squiggle.hpp"
 #include "sdtw/engine.hpp"
 #include "sdtw/normalizer.hpp"
+#include "signal/read.hpp"
 
 namespace sf::sdtw {
 
@@ -67,6 +68,17 @@ class SquiggleFilterClassifier
 
     /** Classify a read from its raw signal. */
     Classification classify(std::span<const RawSample> raw) const;
+
+    /**
+     * Classify every read in @p reads, fanning the independent
+     * alignments across up to @p max_threads worker threads
+     * (0 = hardware concurrency).  Models the pore-parallel
+     * accelerator tiles of §5.1: results are identical to calling
+     * classify() per read, in read order.
+     */
+    std::vector<Classification>
+    processBatch(std::span<const signal::ReadRecord> reads,
+                 unsigned max_threads = 0) const;
 
     /**
      * Alignment cost of the first @p prefix_samples of @p raw without

@@ -96,8 +96,11 @@ TEST(Experiments, FixturesAreCachedAndConsistent)
 
 TEST(Experiments, DatasetsBalancedAndDeterministic)
 {
-    const auto a = makeLambdaDataset(10, 5);
-    const auto b = makeLambdaDataset(10, 5);
+    // Compare the cached dataset against an uncached regeneration so
+    // the check cannot be satisfied by the cache handing back the
+    // same object twice.
+    const auto &a = makeLambdaDataset(10, 5);
+    const signal::Dataset b = generateLambdaDataset(10, 5);
     EXPECT_EQ(a.reads.size(), 20u);
     ASSERT_EQ(a.reads.size(), b.reads.size());
     for (std::size_t i = 0; i < a.reads.size(); ++i)
@@ -106,6 +109,12 @@ TEST(Experiments, DatasetsBalancedAndDeterministic)
     EXPECT_NEAR(double(a.targetCount()), 10.0, 6.0);
 }
 
+/**
+ * The three end-to-end cases share one cached specimen (generated
+ * once per process via the experiments.cpp dataset cache) instead of
+ * regenerating per test; only the strain-typing case needs its own
+ * mutated-genome dataset.
+ */
 class EndToEndTest : public ::testing::Test
 {
   protected:
@@ -113,14 +122,22 @@ class EndToEndTest : public ::testing::Test
         : basecaller_(basecall::guppyHacProfile())
     {}
 
+    /**
+     * 50% viral keeps the tests fast while exercising every stage:
+     * ~110 viral reads x ~1.8 kb = ~6x available coverage.
+     */
+    static const signal::Dataset &
+    sharedSpecimen()
+    {
+        return makeSpecimen(0.5, 220, 0xe2e);
+    }
+
     basecall::OracleBasecaller basecaller_;
 };
 
 TEST_F(EndToEndTest, AssemblesCovidFromMixedSpecimen)
 {
-    // 50% viral keeps the test fast while exercising every stage:
-    // ~110 viral reads x ~1.8 kb = ~6x available coverage.
-    const auto specimen = makeSpecimen(0.5, 220, 0xe2e);
+    const auto &specimen = sharedSpecimen();
 
     PipelineOptions options;
     options.coverageTarget = 4.0; // modest but non-trivial
@@ -142,7 +159,7 @@ TEST_F(EndToEndTest, AssemblesCovidFromMixedSpecimen)
 
 TEST_F(EndToEndTest, FilterDisabledStillAssembles)
 {
-    const auto specimen = makeSpecimen(0.5, 160, 0xe2f);
+    const auto &specimen = sharedSpecimen();
     PipelineOptions options;
     options.useSquiggleFilter = false;
     options.coverageTarget = 3.0;

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <map>
 #include <tuple>
 
 #include "common/logging.hpp"
@@ -191,6 +193,74 @@ TEST_P(EngineOracleTest, ChunkedProcessingEqualsOneShot)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineOracleTest,
                          ::testing::Range<std::uint64_t>(0, 24));
+
+TEST(Engine, GoldenCostsMatchSeedImplementation)
+{
+    // Regression pin for the specialised inner loop: costs recorded
+    // from the original (pre-specialisation) scalar engine on fixed
+    // pseudo-random inputs, across all eight combinations of the
+    // three recurrence switches.  Any arithmetic drift in the rework
+    // shows up as an exact-match failure here.
+    struct Golden
+    {
+        std::uint64_t seed;
+        int cfg; // bit0: squared metric, bit1: refdel, bit2: bonus off
+        Cost cost;
+        std::size_t refEnd;
+    };
+    const Golden golden[] = {
+        {1, 0, 14214, 2778},  {1, 1, 962577, 2685},
+        {1, 2, 12858, 2797},  {1, 3, 687020, 2258},
+        {1, 4, 14993, 1502},  {1, 5, 963355, 2685},
+        {1, 6, 13650, 2797},  {1, 7, 687808, 2258},
+        {2, 0, 14117, 1607},  {2, 1, 970620, 1597},
+        {2, 2, 12808, 1629},  {2, 3, 675287, 1704},
+        {2, 4, 14908, 1606},  {2, 5, 971418, 1597},
+        {2, 6, 13602, 1629},  {2, 7, 676085, 1704},
+    };
+    for (const auto &g : golden) {
+        Rng rng(g.seed);
+        const auto query = randomQuantSignal(400, rng);
+        const auto ref = randomQuantSignal(3000, rng);
+        SdtwConfig config = hardwareConfig();
+        if (g.cfg & 1)
+            config.metric = CostMetric::SquaredDifference;
+        if (g.cfg & 2)
+            config.allowReferenceDeletion = true;
+        if (g.cfg & 4)
+            config.matchBonus = 0.0;
+        const auto result = QuantSdtw(config).align(query, ref);
+        EXPECT_EQ(result.cost, g.cost)
+            << "seed=" << g.seed << " cfg=" << g.cfg;
+        EXPECT_EQ(result.refEnd, g.refEnd)
+            << "seed=" << g.seed << " cfg=" << g.cfg;
+    }
+}
+
+TEST(Engine, HardwareChunkScheduleBitExactAgainstOneShot)
+{
+    // The deployment schedule: 2000-sample chunks (the DRAM
+    // checkpoint granularity of §4.6) folded into one DP state must
+    // reproduce the one-shot alignment bit for bit, including the
+    // dwell-dependent match bonus carried across chunk boundaries.
+    Rng rng(0xc4a11);
+    const auto query = randomQuantSignal(6000, rng);
+    const auto ref = randomQuantSignal(10000, rng);
+    const QuantSdtw engine(hardwareConfig());
+
+    const auto one_shot = engine.align(query, ref);
+
+    QuantSdtw::State state;
+    QuantSdtw::Result chunked{};
+    for (std::size_t offset = 0; offset < query.size(); offset += 2000) {
+        chunked = engine.process(
+            std::span<const NormSample>(query).subspan(offset, 2000), ref,
+            state);
+    }
+    EXPECT_EQ(chunked.cost, one_shot.cost);
+    EXPECT_EQ(chunked.refEnd, one_shot.refEnd);
+    EXPECT_EQ(chunked.rows, query.size());
+}
 
 TEST(Engine, AbsMetricExactSubsequenceIsZero)
 {
@@ -377,42 +447,71 @@ TEST(Normalizer, CumulativeChunkStatisticsConverge)
 //                    classifier and thresholds                      //
 // ---------------------------------------------------------------- //
 
+/**
+ * Expensive fixtures (synthetic genomes, the reference squiggle, the
+ * simulated datasets) are built once and shared by every test in the
+ * suite — they are immutable, and rebuilding them per test dominated
+ * the suite's runtime.
+ */
 class FilterTest : public ::testing::Test
 {
   protected:
-    FilterTest()
-        : virus_(genome::makeSynthetic("virus", {.length = 12000,
-                                                 .gcContent = 0.42,
-                                                 .seed = 30})),
-          host_(genome::makeSynthetic("host", {.length = 300000,
-                                               .seed = 31})),
-          reference_(virus_, model()), sim_(model()),
-          generator_(virus_, host_, sim_)
-    {}
-
-    signal::Dataset
-    makeData(std::size_t reads, double fraction, std::uint64_t seed)
+    static const genome::Genome &
+    virus()
     {
-        signal::DatasetSpec spec;
-        spec.numReads = reads;
-        spec.targetFraction = fraction;
-        spec.targetLengths = {1500.0, 0.4, 600, 8000};
-        spec.backgroundLengths = {1500.0, 0.4, 600, 8000};
-        spec.seed = seed;
-        return generator_.generate(spec);
+        static const genome::Genome g = genome::makeSynthetic(
+            "virus", {.length = 12000, .gcContent = 0.42, .seed = 30});
+        return g;
     }
 
-    genome::Genome virus_;
-    genome::Genome host_;
-    pore::ReferenceSquiggle reference_;
-    signal::SignalSimulator sim_;
-    signal::DatasetGenerator generator_;
+    static const genome::Genome &
+    host()
+    {
+        static const genome::Genome g =
+            genome::makeSynthetic("host", {.length = 300000, .seed = 31});
+        return g;
+    }
+
+    static const pore::ReferenceSquiggle &
+    reference()
+    {
+        static const pore::ReferenceSquiggle ref(virus(), model());
+        return ref;
+    }
+
+    static const signal::DatasetGenerator &
+    generator()
+    {
+        static const signal::SignalSimulator sim(model());
+        static const signal::DatasetGenerator gen(virus(), host(), sim);
+        return gen;
+    }
+
+    static const signal::Dataset &
+    makeData(std::size_t reads, double fraction, std::uint64_t seed)
+    {
+        static std::map<std::tuple<std::size_t, double, std::uint64_t>,
+                        signal::Dataset>
+            cache;
+        const auto key = std::make_tuple(reads, fraction, seed);
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+            signal::DatasetSpec spec;
+            spec.numReads = reads;
+            spec.targetFraction = fraction;
+            spec.targetLengths = {1500.0, 0.4, 600, 8000};
+            spec.backgroundLengths = {1500.0, 0.4, 600, 8000};
+            spec.seed = seed;
+            it = cache.emplace(key, generator().generate(spec)).first;
+        }
+        return it->second;
+    }
 };
 
 TEST_F(FilterTest, CostsSeparateTargetFromBackground)
 {
-    const auto data = makeData(60, 0.5, 32);
-    const auto costs = collectCosts(reference_, data.reads, 2000,
+    const auto &data = makeData(60, 0.5, 32);
+    const auto costs = collectCosts(reference(), data.reads, 2000,
                                     hardwareConfig());
     std::vector<double> target, decoy;
     splitCosts(costs, target, decoy);
@@ -426,15 +525,15 @@ TEST_F(FilterTest, CostsSeparateTargetFromBackground)
 
 TEST_F(FilterTest, ClassifierKeepsTargetsAndEjectsBackground)
 {
-    const auto calib = makeData(60, 0.5, 33);
-    const auto costs = collectCosts(reference_, calib.reads, 2000,
+    const auto &calib = makeData(60, 0.5, 33);
+    const auto costs = collectCosts(reference(), calib.reads, 2000,
                                     hardwareConfig());
     const double threshold = bestF1Threshold(costs);
 
-    SquiggleFilterClassifier classifier(reference_);
+    SquiggleFilterClassifier classifier(reference());
     classifier.setSingleStage(2000, Cost(threshold));
 
-    const auto eval = makeData(40, 0.5, 34);
+    const auto &eval = makeData(40, 0.5, 34);
     ConfusionMatrix cm;
     for (const auto &read : eval.reads) {
         const auto result = classifier.classify(read.raw);
@@ -445,10 +544,10 @@ TEST_F(FilterTest, ClassifierKeepsTargetsAndEjectsBackground)
 
 TEST_F(FilterTest, LongerPrefixImprovesSeparation)
 {
-    const auto data = makeData(50, 0.5, 35);
+    const auto &data = makeData(50, 0.5, 35);
     auto auc_for = [&](std::size_t prefix) {
         const auto costs =
-            collectCosts(reference_, data.reads, prefix,
+            collectCosts(reference(), data.reads, prefix,
                          hardwareConfig());
         return sweepThresholds(costs).auc();
     };
@@ -459,10 +558,10 @@ TEST_F(FilterTest, LongerPrefixImprovesSeparation)
 
 TEST_F(FilterTest, MultiStageAgreesWithFinalStageOnConfidentReads)
 {
-    const auto calib = makeData(60, 0.5, 36);
-    const auto c2000 = collectCosts(reference_, calib.reads, 2000,
+    const auto &calib = makeData(60, 0.5, 36);
+    const auto c2000 = collectCosts(reference(), calib.reads, 2000,
                                     hardwareConfig());
-    const auto c1000 = collectCosts(reference_, calib.reads, 1000,
+    const auto c1000 = collectCosts(reference(), calib.reads, 1000,
                                     hardwareConfig());
     const double t2000 = bestF1Threshold(c2000);
     // Stage-1 threshold between the calibrated best and the decoy
@@ -470,12 +569,12 @@ TEST_F(FilterTest, MultiStageAgreesWithFinalStageOnConfidentReads)
     // clear non-targets are ejected early.
     const double t1000 = 1.25 * bestF1Threshold(c1000);
 
-    SquiggleFilterClassifier single(reference_);
+    SquiggleFilterClassifier single(reference());
     single.setSingleStage(2000, Cost(t2000));
-    SquiggleFilterClassifier multi(reference_);
+    SquiggleFilterClassifier multi(reference());
     multi.setStages({{1000, Cost(t1000)}, {2000, Cost(t2000)}});
 
-    const auto eval = makeData(30, 0.5, 37);
+    const auto &eval = makeData(30, 0.5, 37);
     std::size_t agree = 0, early_ejects = 0;
     for (const auto &read : eval.reads) {
         const auto s = single.classify(read.raw);
@@ -492,9 +591,9 @@ TEST_F(FilterTest, MultiStageAgreesWithFinalStageOnConfidentReads)
 
 TEST_F(FilterTest, ScoreMatchesClassifyCost)
 {
-    SquiggleFilterClassifier classifier(reference_);
+    SquiggleFilterClassifier classifier(reference());
     classifier.setSingleStage(2000, 1u << 30);
-    const auto eval = makeData(6, 0.5, 38);
+    const auto &eval = makeData(6, 0.5, 38);
     for (const auto &read : eval.reads) {
         if (read.raw.size() < 2000)
             continue;
@@ -505,9 +604,40 @@ TEST_F(FilterTest, ScoreMatchesClassifyCost)
     }
 }
 
+TEST_F(FilterTest, BatchMatchesSerialClassifyWithinTimeBudget)
+{
+    const auto &calib = makeData(60, 0.5, 33);
+    const auto costs = collectCosts(reference(), calib.reads, 2000,
+                                    hardwareConfig());
+    SquiggleFilterClassifier classifier(reference());
+    classifier.setSingleStage(2000, Cost(bestF1Threshold(costs)));
+
+    const auto &eval = makeData(40, 0.5, 34);
+    const auto start = std::chrono::steady_clock::now();
+    const auto batch = classifier.processBatch(eval.reads);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+
+    ASSERT_EQ(batch.size(), eval.reads.size());
+    for (std::size_t i = 0; i < eval.reads.size(); ++i) {
+        const auto serial = classifier.classify(eval.reads[i].raw);
+        EXPECT_EQ(batch[i].keep, serial.keep);
+        EXPECT_EQ(batch[i].cost, serial.cost);
+        EXPECT_EQ(batch[i].refEnd, serial.refEnd);
+        EXPECT_EQ(batch[i].samplesUsed, serial.samplesUsed);
+    }
+
+    // Wall-clock budget: 40 reads x 2000 samples against a ~24k-sample
+    // reference is ~2e9 DP cells.  The specialised kernel sustains
+    // >500M cells/s on one core, so even a loaded single-core CI host
+    // has an order of magnitude of headroom against this bound.
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed)
+                  .count(),
+              30);
+}
+
 TEST_F(FilterTest, EmptySignalIsKeptForLackOfEvidence)
 {
-    SquiggleFilterClassifier classifier(reference_);
+    SquiggleFilterClassifier classifier(reference());
     const auto result = classifier.classify({});
     EXPECT_TRUE(result.keep);
     EXPECT_EQ(result.samplesUsed, 0u);
@@ -515,7 +645,7 @@ TEST_F(FilterTest, EmptySignalIsKeptForLackOfEvidence)
 
 TEST_F(FilterTest, StagePrefixesMustIncrease)
 {
-    SquiggleFilterClassifier classifier(reference_);
+    SquiggleFilterClassifier classifier(reference());
     EXPECT_THROW(classifier.setStages({{2000, 10}, {1000, 5}}),
                  FatalError);
     EXPECT_THROW(classifier.setStages({}), FatalError);
