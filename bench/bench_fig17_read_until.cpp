@@ -3,14 +3,27 @@
  * Figure 17: (a) Read Until classification accuracy — sDTW vs the
  * basecall+align baseline — across prefix lengths; (b) modelled Read
  * Until runtime vs threshold on the lambda dataset; (c) the same
- * operating points transferred to the SARS-CoV-2 dataset.
+ * operating points transferred to the SARS-CoV-2 dataset; (d) the
+ * streaming multi-channel session driving the same classifier with
+ * per-chunk decisions — measured decision-latency percentiles,
+ * sustained chunk throughput, enrichment, and the DP-work advantage
+ * of checkpointed (incremental) alignment over re-aligning the full
+ * prefix at every decision.
+ *
+ * Set SF_FIG17_SECTION=stream to run only section (d) — the CI bench
+ * gate uses this to track the streaming numbers in BENCH_stream.json.
  */
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "align/aligner.hpp"
 #include "basecall/oracle.hpp"
 #include "common/table.hpp"
 #include "readuntil/model.hpp"
+#include "stream/session.hpp"
 
 using namespace sf;
 
@@ -32,6 +45,80 @@ runtimeHours(double tpr, double fpr, std::size_t prefix,
     return readuntil::ReadUntilModel(params).withReadUntil(c).hours;
 }
 
+/**
+ * Section (d): the streaming session.  Calibrates a 2000-sample
+ * operating point, expands it into a per-chunk decision schedule, and
+ * drives the lambda dataset through a live multi-channel flowcell.
+ */
+void
+runStreamingSection(std::size_t per_class)
+{
+    const auto &data = pipeline::makeLambdaDataset(per_class);
+    const auto calib_costs =
+        sdtw::collectCosts(pipeline::lambdaSquiggle(), data.reads, 2000,
+                           sdtw::hardwareConfig());
+    const Cost threshold = Cost(sdtw::bestF1Threshold(calib_costs));
+
+    constexpr std::size_t kChunkSamples = 1600; // 0.4 s at 4 kHz
+    constexpr std::size_t kDecisions = 12;
+    sdtw::SquiggleFilterClassifier classifier(pipeline::lambdaSquiggle());
+    classifier.setStages(sdtw::uniformStageSchedule(
+        kChunkSamples, kDecisions, threshold));
+
+    stream::SessionConfig cfg;
+    cfg.channels = 64;
+    cfg.chunkSeconds = double(kChunkSamples) / cfg.sampleRateHz;
+    cfg.workers = 0; // hardware concurrency
+    cfg.seed = 0x17f1;
+    const stream::ReadUntilSession session(classifier, cfg);
+    const auto result = session.run(data.reads);
+    const auto &s = result.stats;
+
+    Table table("Figure 17d: streaming Read Until session (lambda, "
+                "per-chunk decisions)",
+                {"Metric", "Value"});
+    table.addRow({"channels / workers",
+                  fmtInt(cfg.channels) + " / " +
+                      fmtInt(long(std::thread::hardware_concurrency()))});
+    table.addRow({"decision schedule",
+                  fmtInt(long(kDecisions)) + " stages x " +
+                      fmtInt(long(kChunkSamples)) + " samples"});
+    table.addRow({"reads processed", fmtInt(long(s.readsProcessed))});
+    table.addRow({"kept / ejected", fmtInt(long(s.readsKept)) + " / " +
+                                        fmtInt(long(s.readsEjected))});
+    table.addRow({"decision F1 vs ground truth",
+                  fmt(s.confusion.f1(), 3)});
+    table.addRow({"enrichment factor", fmt(s.enrichmentFactor, 2)});
+    table.addRow({"chunks emitted", fmtInt(long(s.chunksEmitted))});
+    table.addRow({"sustained chunks/s (real)", fmt(s.chunksPerSec, 5)});
+    table.addRow({"decision latency p50 (us)", fmt(s.latency.p50us, 6)});
+    table.addRow({"decision latency p99 (us)", fmt(s.latency.p99us, 6)});
+    table.addRow({"mean batch per dispatch", fmt(s.meanBatchSize, 2)});
+    table.addRow({"DP rows folded (checkpointed)",
+                  fmtInt(long(s.dpRowsFolded))});
+    table.addRow({"DP rows if re-aligned per decision",
+                  fmtInt(long(s.dpRowsNaive))});
+    table.addRow({"DP work ratio (naive / checkpointed)",
+                  fmt(s.dpWorkRatio(), 2)});
+    table.addRow({"virtual flowcell hours",
+                  fmt(s.virtualSeconds / 3600.0, 3)});
+    table.addRow({"wall seconds", fmt(s.wallSeconds, 2)});
+    table.print();
+
+    std::printf("Checkpointed feedChunk() does %.1fx less DP work than "
+                "re-aligning each decision's full prefix (target: "
+                ">= 5x).\n",
+                s.dpWorkRatio());
+    // Machine-readable line consumed by scripts/bench_gate.sh.
+    std::printf("BENCH_STREAM_JSON {\"chunks_per_s\": %.1f, "
+                "\"p50_us\": %.1f, \"p99_us\": %.1f, "
+                "\"dp_work_ratio\": %.2f, \"enrichment\": %.3f, "
+                "\"f1\": %.3f, \"reads\": %zu, \"decisions\": %zu}\n",
+                s.chunksPerSec, s.latency.p50us, s.latency.p99us,
+                s.dpWorkRatio(), s.enrichmentFactor, s.confusion.f1(),
+                s.readsProcessed, std::size_t(s.decisions));
+}
+
 } // namespace
 
 int
@@ -40,6 +127,12 @@ main()
     bench::banner("Read Until accuracy and runtime", "Figure 17");
 
     const auto per_class = pipeline::scaledReads(24);
+
+    const char *section = std::getenv("SF_FIG17_SECTION");
+    if (section != nullptr && std::strcmp(section, "stream") == 0) {
+        runStreamingSection(per_class);
+        return 0;
+    }
     const std::vector<std::size_t> prefixes{1000, 2000, 4000};
 
     // ---- (a) sDTW accuracy on the lambda dataset ----
@@ -147,6 +240,9 @@ main()
     covid.print();
     std::printf("Paper anchors: best single-threshold SquiggleFilter "
                 "beats Guppy-lite RU runtime by ~12.9%%; multiple "
-                "thresholds add a further ~13.3%%.\n");
+                "thresholds add a further ~13.3%%.\n\n");
+
+    // ---- (d) the streaming multi-channel session ----
+    runStreamingSection(per_class);
     return 0;
 }

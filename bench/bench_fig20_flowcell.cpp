@@ -3,13 +3,53 @@
  * Figure 20: flow-cell wear — control vs Read Until active-channel
  * traces with a nuclease wash + re-mux, showing Read Until does not
  * damage the flow cell.
+ *
+ * The Read Until wear factor is no longer a free parameter: a
+ * streaming session measures the actual ejection rate of a calibrated
+ * classifier, and the extra pore duty spent at ejection bias
+ * (reversals per channel-hour x reversal time) sets the wear factor
+ * the trace is simulated with.
  */
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "readuntil/flowcell.hpp"
+#include "sdtw/threshold.hpp"
+#include "stream/session.hpp"
 
 using namespace sf;
+
+namespace {
+
+/** Measure ejection duty with a live session on a small specimen. */
+double
+measuredEjectionDuty(stream::SessionStats &stats_out)
+{
+    sdtw::SquiggleFilterClassifier classifier(
+        pipeline::streamVirusSquiggle());
+    classifier.setStages(sdtw::uniformStageSchedule(
+        1600, 8, pipeline::calibratedStreamThreshold(48, 0.3, 201)));
+
+    stream::SessionConfig cfg;
+    cfg.channels = 32;
+    cfg.seed = 0xf10c;
+    const auto &specimen = pipeline::makeStreamDataset(
+        pipeline::scaledReads(96), 0.3, 202);
+    const auto result =
+        stream::ReadUntilSession(classifier, cfg).run(specimen.reads);
+    stats_out = result.stats;
+
+    const double channel_hours = double(cfg.channels) *
+                                 result.stats.virtualSeconds / 3600.0;
+    if (channel_hours <= 0.0)
+        return 0.0;
+    const double ejects_per_channel_hour =
+        double(result.stats.readsEjected) / channel_hours;
+    // Fraction of a channel-hour spent at the reversal bias voltage.
+    return ejects_per_channel_hour * cfg.ejectLatencySec / 3600.0;
+}
+
+} // namespace
 
 int
 main()
@@ -18,6 +58,16 @@ main()
                   "Figure 20 / §7.4");
 
     readuntil::FlowcellWearParams params;
+    stream::SessionStats session_stats;
+    const double duty = measuredEjectionDuty(session_stats);
+    params.readUntilWearFactor = 1.0 + duty;
+    std::printf("Streaming session measured: %zu/%zu reads ejected, "
+                "%.3f%% of channel time at ejection bias -> wear "
+                "factor %.4f\n\n",
+                session_stats.readsEjected,
+                session_stats.readsProcessed, 100.0 * duty,
+                params.readUntilWearFactor);
+
     const auto trace = readuntil::simulateFlowcellWear(params);
 
     Table table("Figure 20: active channels over time",

@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Performance regression gate for CI.
+#
+# 1. Runs bench_micro_sdtw (google-benchmark) and fails when the
+#    specialised kernel's cells/s drops more than SF_BENCH_GATE_MARGIN
+#    percent (default 15) below the baseline in BENCH_sdtw.json.
+# 2. Runs the streaming session section of bench_fig17_read_until and
+#    fails when chunks/s regresses the same way against
+#    BENCH_stream.json, or when the checkpointed-DP work advantage
+#    falls below 5x.
+#
+# Usage:
+#   scripts/bench_gate.sh             # gate against both baselines
+#   scripts/bench_gate.sh --record    # refresh BENCH_stream.json's
+#                                     # measured block instead of gating
+#
+# Absolute throughput is host-dependent; on shared CI runners widen
+# the margin with SF_BENCH_GATE_MARGIN rather than skipping the gate.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build}"
+margin="${SF_BENCH_GATE_MARGIN:-15}"
+record=0
+if [[ "${1:-}" == "--record" ]]; then
+    record=1
+elif [[ -n "${1:-}" ]]; then
+    echo "usage: $0 [--record]" >&2
+    exit 2
+fi
+
+cd "${repo_root}"
+cmake -B "${build_dir}" -S . >/dev/null
+cmake --build "${build_dir}" -j --target bench_fig17_read_until >/dev/null
+
+# ---- 1. sDTW kernel gate ------------------------------------------ #
+# Skip only when google-benchmark was genuinely absent at configure
+# time; a bench_micro_sdtw *build failure* must fail the gate, not
+# silently disable it.
+if grep -q '^benchmark_DIR:PATH=.*-NOTFOUND' \
+    "${build_dir}/CMakeCache.txt" 2>/dev/null; then
+    echo "sdtw kernel gate: SKIPPED (google-benchmark not available)"
+else
+    cmake --build "${build_dir}" -j --target bench_micro_sdtw >/dev/null
+    "${build_dir}/bench_micro_sdtw" --benchmark_format=json \
+        --benchmark_min_time=0.2 >/tmp/sf_bench_sdtw.json
+    python3 - "$margin" <<'EOF'
+import json, re, sys
+
+margin = float(sys.argv[1])
+with open("BENCH_sdtw.json") as f:
+    baseline = json.load(f)
+with open("/tmp/sf_bench_sdtw.json") as f:
+    measured = json.load(f)
+
+# Baseline rows keyed by "<query_len>x<reference_len>"; measured
+# benchmark names look like BM_QuantSdtwSpecialized/500/10000.
+base = {f"{r['query_len']}x{r['reference_len']}": r["cells_per_s"]
+        for r in baseline["results"] if r["variant"] == "specialized"}
+failures = []
+checked = 0
+for bench in measured["benchmarks"]:
+    m = re.fullmatch(r"BM_QuantSdtw/(\d+)/(\d+)", bench["name"])
+    if not m:
+        continue
+    key = f"{m.group(1)}x{m.group(2)}"
+    if key not in base:
+        continue
+    cells = bench["items_per_second"]
+    floor = base[key] * (1.0 - margin / 100.0)
+    status = "OK " if cells >= floor else "FAIL"
+    print(f"  [{status}] sdtw {key}: {cells/1e9:.2f} G cells/s "
+          f"(baseline {base[key]/1e9:.2f}, floor {floor/1e9:.2f})")
+    checked += 1
+    if cells < floor:
+        failures.append(key)
+if checked == 0:
+    sys.exit("bench gate matched no sdtw benchmarks against the baseline")
+if failures:
+    sys.exit(f"sdtw kernel regressed >{margin}% on: {', '.join(failures)}")
+EOF
+    echo "sdtw kernel gate: green (margin ${margin}%)"
+fi
+
+# ---- 2. streaming session gate ------------------------------------ #
+# `|| true` keeps the guard below reachable under set -e/pipefail when
+# the bench crashes or stops printing the tagged line.
+stream_line="$({ SF_FIG17_SECTION=stream \
+    "${build_dir}/bench_fig17_read_until" |
+    grep '^BENCH_STREAM_JSON ' |
+    sed 's/^BENCH_STREAM_JSON //'; } || true)"
+if [[ -z "${stream_line}" ]]; then
+    echo "bench_fig17_read_until produced no BENCH_STREAM_JSON line" >&2
+    exit 1
+fi
+echo "measured stream: ${stream_line}"
+
+if [[ "${record}" == "1" ]]; then
+    python3 - "$stream_line" <<'EOF'
+import json, sys
+
+measured = json.loads(sys.argv[1])
+with open("BENCH_stream.json") as f:
+    doc = json.load(f)
+doc["measured"] = measured
+with open("BENCH_stream.json", "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print("BENCH_stream.json measured block refreshed")
+EOF
+    exit 0
+fi
+
+python3 - "$stream_line" "$margin" <<'EOF'
+import json, sys
+
+measured = json.loads(sys.argv[1])
+margin = float(sys.argv[2])
+with open("BENCH_stream.json") as f:
+    baseline = json.load(f)["measured"]
+
+floor = baseline["chunks_per_s"] * (1.0 - margin / 100.0)
+if measured["chunks_per_s"] < floor:
+    sys.exit(f"streaming chunks/s regressed >{margin}%: "
+             f"{measured['chunks_per_s']:.1f} < floor {floor:.1f} "
+             f"(baseline {baseline['chunks_per_s']:.1f})")
+if measured["dp_work_ratio"] < 5.0:
+    sys.exit(f"checkpointed DP work advantage fell below 5x: "
+             f"{measured['dp_work_ratio']:.2f}")
+print(f"  [OK ] chunks/s {measured['chunks_per_s']:.1f} "
+      f"(baseline {baseline['chunks_per_s']:.1f}, floor {floor:.1f})")
+print(f"  [OK ] DP work ratio {measured['dp_work_ratio']:.2f} (>= 5)")
+print(f"  [inf] p50 {measured['p50_us']:.0f} us, "
+      f"p99 {measured['p99_us']:.0f} us, "
+      f"enrichment {measured['enrichment']:.2f}x")
+EOF
+echo "streaming session gate: green (margin ${margin}%)"

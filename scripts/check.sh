@@ -3,29 +3,47 @@
 # shells.
 #
 # Usage:
-#   scripts/check.sh          # full verify: configure, build, ctest
-#   scripts/check.sh --smoke  # quick pass: build + brief-output gtest
-#                             # binaries only (no ctest machinery)
+#   scripts/check.sh             # full verify: configure, build, ctest
+#   scripts/check.sh --smoke     # quick pass: build + brief-output
+#                                # gtest binaries only (no ctest)
+#   scripts/check.sh --sanitize  # ASan+UBSan build into build-asan/
+#                                # and the full ctest suite under it
 #
-# Both modes exit non-zero on the first failure.
+# All modes exit non-zero on the first failure.  BUILD_DIR overrides
+# the build directory (the sanitize mode defaults to build-asan/ so a
+# sanitized tree never dirties the Release cache).
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${BUILD_DIR:-${repo_root}/build}"
 
 mode="full"
-if [[ "${1:-}" == "--smoke" ]]; then
-    mode="smoke"
-elif [[ -n "${1:-}" ]]; then
-    echo "usage: $0 [--smoke]" >&2
-    exit 2
+case "${1:-}" in
+    "") ;;
+    --smoke) mode="smoke" ;;
+    --sanitize) mode="sanitize" ;;
+    *)
+        echo "usage: $0 [--smoke|--sanitize]" >&2
+        exit 2
+        ;;
+esac
+
+if [[ "${mode}" == "sanitize" ]]; then
+    build_dir="${BUILD_DIR:-${repo_root}/build-asan}"
+    # RelWithDebInfo keeps the DP kernels fast enough to finish while
+    # ASan watches every access; halt on the first UBSan report.
+    configure_args=(-DSF_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo)
+    export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1}"
+    export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+else
+    build_dir="${BUILD_DIR:-${repo_root}/build}"
+    configure_args=()
 fi
 
 cd "${repo_root}"
 
 # Tier-1 verify, verbatim (see ROADMAP.md).
-cmake -B "${build_dir}" -S .
+cmake -B "${build_dir}" -S . "${configure_args[@]}"
 cmake --build "${build_dir}" -j
 
 if [[ "${mode}" == "smoke" ]]; then

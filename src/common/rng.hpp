@@ -136,6 +136,23 @@ class Rng
         return Rng((*this)() ^ 0x9e3779b97f4a7c15ULL);
     }
 
+    /**
+     * Derive the @p index-th decorrelated child stream of @p seed
+     * without consuming any parent state.  Unlike fork(), the result
+     * depends only on (seed, index) — never on call order or the
+     * thread that asks — so per-channel / per-worker generators in
+     * fanned-out code stay identical across thread counts and
+     * scheduling.
+     */
+    static Rng
+    derive(std::uint64_t seed, std::uint64_t index)
+    {
+        std::uint64_t sm = seed;
+        const std::uint64_t lane = splitMix64(sm) ^ (index + 1);
+        std::uint64_t sm2 = lane;
+        return Rng(splitMix64(sm2));
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "genome/synthetic.hpp"
+#include "sdtw/threshold.hpp"
 
 namespace sf::pipeline {
 
@@ -88,7 +89,7 @@ namespace {
  * within a suite — are served from a process-wide cache instead of
  * re-simulating thousands of squiggles.
  */
-enum class DatasetRecipe { Lambda, Covid, Specimen };
+enum class DatasetRecipe { Lambda, Covid, Specimen, Stream };
 
 using DatasetKey =
     std::tuple<DatasetRecipe, std::size_t, std::uint64_t, double>;
@@ -161,6 +162,53 @@ makeSpecimen(double viral_fraction, std::size_t num_reads,
             spec.seed = seed;
             return generator.generate(spec);
         });
+}
+
+const genome::Genome &
+streamVirusGenome()
+{
+    static const genome::Genome g = genome::makeSynthetic(
+        "stream-virus", {.length = 6000, .gcContent = 0.42, .seed = 77});
+    return g;
+}
+
+const pore::ReferenceSquiggle &
+streamVirusSquiggle()
+{
+    static const pore::ReferenceSquiggle ref(streamVirusGenome(),
+                                             defaultKmerModel());
+    return ref;
+}
+
+const signal::Dataset &
+makeStreamDataset(std::size_t num_reads, double target_fraction,
+                  std::uint64_t seed)
+{
+    return cachedDataset(
+        {DatasetRecipe::Stream, num_reads, seed, target_fraction}, [&] {
+            const signal::DatasetGenerator generator(
+                streamVirusGenome(), humanBackground(),
+                defaultSimulator());
+            signal::DatasetSpec spec;
+            spec.numReads = num_reads;
+            spec.targetFraction = target_fraction;
+            spec.targetLengths = {1000.0, 0.4, 400, 4000};
+            spec.backgroundLengths = {1500.0, 0.45, 400, 6000};
+            spec.seed = seed;
+            return generator.generate(spec);
+        });
+}
+
+Cost
+calibratedStreamThreshold(std::size_t num_reads, double target_fraction,
+                          std::uint64_t seed)
+{
+    const auto &calibration =
+        makeStreamDataset(num_reads, target_fraction, seed);
+    const auto costs =
+        sdtw::collectCosts(streamVirusSquiggle(), calibration.reads,
+                           2000, sdtw::hardwareConfig());
+    return Cost(sdtw::bestF1Threshold(costs));
 }
 
 } // namespace sf::pipeline

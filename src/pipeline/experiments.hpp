@@ -76,6 +76,38 @@ const signal::Dataset &makeSpecimen(double viral_fraction,
                                     std::size_t num_reads,
                                     std::uint64_t seed = 0x5bec);
 
+/**
+ * Small virus (6 kb) used by the streaming-session tests and demos:
+ * big enough for target/background costs to separate, small enough
+ * that a multi-channel session with per-chunk decisions runs in
+ * seconds on one core.
+ */
+const genome::Genome &streamVirusGenome();
+
+/** Reference squiggle of streamVirusGenome() (both strands). */
+const pore::ReferenceSquiggle &streamVirusSquiggle();
+
+/**
+ * Short-read dataset against streamVirusGenome() for streaming
+ * sessions: reads span a handful of 0.4 s chunks so per-chunk
+ * decision schedules exercise capture, multi-stage ejection, and
+ * read-ended-early paths without genome-scale alignment costs.
+ */
+const signal::Dataset &makeStreamDataset(std::size_t num_reads,
+                                         double target_fraction,
+                                         std::uint64_t seed = 0x57e4);
+
+/**
+ * Calibrated 2000-sample ejection threshold for streamVirusSquiggle(),
+ * measured on a makeStreamDataset() split: the best-F1 operating
+ * point of the hardware configuration.  The shared recipe behind
+ * every streaming test/bench/example schedule, so their operating
+ * points cannot drift apart (expand with uniformStageSchedule()).
+ */
+Cost calibratedStreamThreshold(std::size_t num_reads,
+                               double target_fraction,
+                               std::uint64_t seed);
+
 } // namespace sf::pipeline
 
 #endif // SF_PIPELINE_EXPERIMENTS_HPP

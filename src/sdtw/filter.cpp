@@ -40,57 +40,138 @@ SquiggleFilterClassifier::setSingleStage(std::size_t prefix_samples,
 Classification
 SquiggleFilterClassifier::classify(std::span<const RawSample> raw) const
 {
-    Classification result;
-    if (raw.empty()) {
+    // Offline classification is the streaming path fed one giant
+    // chunk: identical chunk decomposition at stage boundaries,
+    // identical cumulative normalisation, identical DP folds — so the
+    // two paths cannot drift apart.
+    ClassifierStream stream = beginStream();
+    feedChunk(stream, raw);
+    return finishStream(stream);
+}
+
+ClassifierStream
+SquiggleFilterClassifier::beginStream() const
+{
+    return ClassifierStream{};
+}
+
+void
+SquiggleFilterClassifier::foldSlice(
+    ClassifierStream &stream, std::span<const RawSample> slice) const
+{
+    if (slice.empty())
+        return;
+    const auto normalized = stream.normalizer.normalizeChunk(slice);
+    const auto aligned = engine_.process(
+        std::span<const NormSample>(normalized.samples),
+        std::span<const NormSample>(reference_.samples()), stream.dp);
+    stream.result.cost = aligned.cost;
+    stream.result.refEnd = aligned.refEnd;
+    stream.consumed += slice.size();
+    stream.rowsFolded += slice.size();
+}
+
+/**
+ * Evaluate the stage the stream currently sits in.  @p truncated
+ * mirrors classify()'s short-read handling: the threshold is scaled
+ * proportionally and the stage becomes final.
+ */
+void
+SquiggleFilterClassifier::evaluateStage(ClassifierStream &stream,
+                                        bool truncated) const
+{
+    const FilterStage &stage = stages_[stream.stageIdx];
+    stream.result.samplesUsed = stream.consumed;
+    stream.result.stagesRun = stream.stageIdx + 1;
+    // One full-prefix re-alignment is what the non-checkpointed
+    // scheme would have spent to reach this same decision.
+    stream.rowsNaive += stream.consumed;
+
+    // Reads shorter than the stage prefix accumulate proportionally
+    // less cost; scale the threshold to match.
+    Cost threshold = stage.threshold;
+    if (truncated && stage.prefixSamples > 0) {
+        threshold = Cost(double(stage.threshold) *
+                         double(stream.consumed) /
+                         double(stage.prefixSamples));
+    }
+
+    const bool last =
+        (stream.stageIdx + 1 == stages_.size()) || truncated;
+    if (stream.result.cost > threshold) {
+        stream.result.keep = false;
+        stream.decided = true;
+    } else if (last) {
+        stream.result.keep = true;
+        stream.decided = true;
+    }
+    ++stream.stageIdx;
+}
+
+const Classification &
+SquiggleFilterClassifier::feedChunk(ClassifierStream &stream,
+                                    std::span<const RawSample> chunk) const
+{
+    if (stream.decided)
+        return stream.result;
+    // Fold every stage boundary the new chunk crosses.  Completed
+    // stages are normalised straight out of the caller's buffer (or
+    // out of `pending` topped up to the boundary); only the
+    // sub-boundary tail is copied into `pending`, so the offline
+    // classify() path never buffers more than the final partial
+    // stage.
+    std::size_t used = 0;
+    while (!stream.decided && stream.stageIdx < stages_.size()) {
+        const std::size_t prefix =
+            stages_[stream.stageIdx].prefixSamples;
+        const std::size_t have =
+            stream.samplesSeen() + (chunk.size() - used);
+        if (have < prefix)
+            break;
+        const std::size_t need = prefix - stream.consumed;
+        if (stream.pending.empty()) {
+            foldSlice(stream, chunk.subspan(used, need));
+            used += need;
+        } else {
+            // pending always holds less than a full stage (else the
+            // previous feed would have folded it).
+            const std::size_t from_chunk = need - stream.pending.size();
+            stream.pending.insert(
+                stream.pending.end(), chunk.begin() + std::ptrdiff_t(used),
+                chunk.begin() + std::ptrdiff_t(used + from_chunk));
+            used += from_chunk;
+            foldSlice(stream,
+                      std::span<const RawSample>(stream.pending));
+            stream.pending.clear();
+        }
+        evaluateStage(stream, /*truncated=*/false);
+    }
+    if (!stream.decided)
+        stream.pending.insert(stream.pending.end(),
+                              chunk.begin() + std::ptrdiff_t(used),
+                              chunk.end());
+    return stream.result;
+}
+
+const Classification &
+SquiggleFilterClassifier::finishStream(ClassifierStream &stream) const
+{
+    if (stream.decided)
+        return stream.result;
+    if (stream.samplesSeen() == 0) {
         // Nothing measured yet: keep sequencing, no evidence either way.
-        result.keep = true;
-        return result;
+        stream.result.keep = true;
+        stream.decided = true;
+        return stream.result;
     }
-
-    MeanMadNormalizer normalizer;
-    QuantSdtw::State state;
-    const auto ref = std::span<const NormSample>(reference_.samples());
-
-    std::size_t consumed = 0;
-    for (std::size_t s = 0; s < stages_.size(); ++s) {
-        const FilterStage &stage = stages_[s];
-        const std::size_t want = std::min(stage.prefixSamples, raw.size());
-        const bool truncated = want < stage.prefixSamples;
-
-        if (want > consumed) {
-            const auto chunk = raw.subspan(consumed, want - consumed);
-            const auto normalized = normalizer.normalizeChunk(chunk);
-            const auto aligned = engine_.process(
-                std::span<const NormSample>(normalized.samples), ref,
-                state);
-            result.cost = aligned.cost;
-            result.refEnd = aligned.refEnd;
-            consumed = want;
-        }
-        result.samplesUsed = consumed;
-        result.stagesRun = s + 1;
-
-        // Reads shorter than the stage prefix accumulate
-        // proportionally less cost; scale the threshold to match.
-        Cost threshold = stage.threshold;
-        if (truncated && stage.prefixSamples > 0) {
-            threshold = Cost(double(stage.threshold) * double(consumed) /
-                             double(stage.prefixSamples));
-        }
-
-        const bool last = (s + 1 == stages_.size()) || truncated;
-        if (result.cost > threshold) {
-            result.keep = false;
-            return result;
-        }
-        if (last) {
-            result.keep = true;
-            return result;
-        }
-        // Passed an intermediate stage: sequence further samples.
-    }
-    result.keep = true;
-    return result;
+    // The read ended inside stages_[stageIdx] (feedChunk folded every
+    // completed stage): fold the tail and decide on the scaled
+    // threshold, exactly like classify() on a short read.
+    foldSlice(stream, std::span<const RawSample>(stream.pending));
+    stream.pending.clear();
+    evaluateStage(stream, /*truncated=*/true);
+    stream.decided = true; // truncated stages always decide
+    return stream.result;
 }
 
 std::vector<Classification>
@@ -106,6 +187,22 @@ SquiggleFilterClassifier::processBatch(
         [&](std::size_t i) { results[i] = classify(reads[i].raw); },
         max_threads);
     return results;
+}
+
+std::vector<FilterStage>
+uniformStageSchedule(std::size_t samples_per_decision,
+                     std::size_t num_decisions, Cost threshold_at_2000)
+{
+    if (samples_per_decision == 0 || num_decisions == 0)
+        fatal("uniformStageSchedule needs a positive stride and depth");
+    std::vector<FilterStage> stages(num_decisions);
+    for (std::size_t i = 0; i < num_decisions; ++i) {
+        const std::size_t prefix = (i + 1) * samples_per_decision;
+        stages[i].prefixSamples = prefix;
+        stages[i].threshold = Cost(double(threshold_at_2000) *
+                                   double(prefix) / 2000.0);
+    }
+    return stages;
 }
 
 QuantSdtw::Result

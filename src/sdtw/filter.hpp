@@ -43,6 +43,38 @@ struct Classification
     std::size_t stagesRun = 0;  //!< stages evaluated before deciding
 };
 
+/**
+ * Checkpointed per-read state for the streaming API.
+ *
+ * One ClassifierStream models one read in flight on one pore: raw
+ * chunks are appended as they arrive, and whenever the accumulated
+ * signal crosses the next stage boundary the pending slice is
+ * normalised with cumulative statistics and folded into the saved DP
+ * row — O(new samples) per decision instead of re-aligning the whole
+ * prefix, exactly what the hardware's checkpointed systolic array
+ * does (§4.6).  The offline classify() is implemented on top of this
+ * state, so streaming and offline results are bit-identical by
+ * construction.
+ */
+struct ClassifierStream
+{
+    MeanMadNormalizer normalizer; //!< cumulative mean/MAD statistics
+    QuantSdtw::State dp;          //!< checkpointed DP row + dwells
+    std::vector<RawSample> pending; //!< arrived but not yet folded
+    std::size_t consumed = 0;     //!< raw samples folded into the DP
+    std::size_t stageIdx = 0;     //!< next stage to evaluate
+    bool decided = false;         //!< a final keep/eject was reached
+    Classification result;        //!< latest cost/decision snapshot
+
+    /** DP rows actually folded (the incremental scheme's work). */
+    std::uint64_t rowsFolded = 0;
+    /** Rows a full prefix re-alignment per decision would have cost. */
+    std::uint64_t rowsNaive = 0;
+
+    /** Raw samples seen so far (folded + pending). */
+    std::size_t samplesSeen() const { return consumed + pending.size(); }
+};
+
 /** Squiggle-space Read Until classifier. */
 class SquiggleFilterClassifier
 {
@@ -68,6 +100,34 @@ class SquiggleFilterClassifier
 
     /** Classify a read from its raw signal. */
     Classification classify(std::span<const RawSample> raw) const;
+
+    /**
+     * Start streaming a new read.  Feed chunks with feedChunk() as
+     * they arrive and call finishStream() if the read ends before the
+     * final stage decided.
+     */
+    ClassifierStream beginStream() const;
+
+    /**
+     * Append one raw-signal chunk (any size, including empty) to the
+     * stream and fold every stage boundary it crosses into the
+     * checkpointed DP state.  Returns the latest snapshot; once
+     * stream.decided is true further chunks are ignored.
+     *
+     * Feeding a read in chunks produces bit-identical costs and
+     * decisions to classify() on the same prefix, regardless of how
+     * the chunks are split.
+     */
+    const Classification &feedChunk(ClassifierStream &stream,
+                                    std::span<const RawSample> chunk) const;
+
+    /**
+     * The read ended (or was truncated): evaluate the pending tail
+     * against the current stage's proportionally scaled threshold,
+     * exactly as classify() does for reads shorter than a stage
+     * prefix, and finalise the decision.
+     */
+    const Classification &finishStream(ClassifierStream &stream) const;
 
     /**
      * Classify every read in @p reads, fanning the independent
@@ -98,10 +158,28 @@ class SquiggleFilterClassifier
     const pore::ReferenceSquiggle &reference() const { return reference_; }
 
   private:
+    /** Normalise @p slice and fold it into the checkpointed DP row. */
+    void foldSlice(ClassifierStream &stream,
+                   std::span<const RawSample> slice) const;
+    /** Threshold-check the current stage (truncated = short read). */
+    void evaluateStage(ClassifierStream &stream, bool truncated) const;
+
     const pore::ReferenceSquiggle &reference_;
     QuantSdtw engine_;
     std::vector<FilterStage> stages_;
 };
+
+/**
+ * Build a decision schedule with a stage every @p samples_per_decision
+ * raw samples, @p num_decisions stages deep, thresholds scaled
+ * linearly with prefix length from @p threshold_at_2000 (the
+ * calibrated 2000-sample operating point).  This is the per-chunk
+ * Read Until cadence: a streaming session re-examines the read at
+ * every chunk until the final stage keeps it or any stage ejects it.
+ */
+std::vector<FilterStage>
+uniformStageSchedule(std::size_t samples_per_decision,
+                     std::size_t num_decisions, Cost threshold_at_2000);
 
 } // namespace sf::sdtw
 

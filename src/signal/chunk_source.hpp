@@ -1,0 +1,90 @@
+#ifndef SF_SIGNAL_CHUNK_SOURCE_HPP
+#define SF_SIGNAL_CHUNK_SOURCE_HPP
+
+/**
+ * @file
+ * Chunked delivery of one read's raw signal.
+ *
+ * A live sequencer does not hand the classifier whole reads: each
+ * channel's ADC stream is surfaced in fixed-duration chunks (the
+ * MinION API delivers ~0.4 s of signal at 4 kHz per request).  A
+ * ChunkSource replays a simulated ReadRecord with exactly that
+ * interface so streaming components consume the same shape of data
+ * the real device produces.
+ */
+
+#include <cstddef>
+#include <span>
+
+#include "common/logging.hpp"
+#include "common/types.hpp"
+#include "signal/read.hpp"
+
+namespace sf::signal {
+
+/** Sequential fixed-size chunk view over one read's raw samples. */
+class ChunkSource
+{
+  public:
+    ChunkSource() = default;
+
+    /**
+     * @param read read to replay (must outlive the source)
+     * @param chunk_samples raw samples per chunk (e.g. 0.4 s * 4 kHz)
+     */
+    ChunkSource(const ReadRecord &read, std::size_t chunk_samples)
+        : read_(&read), chunkSamples_(chunk_samples)
+    {
+        if (chunkSamples_ == 0)
+            fatal("ChunkSource chunk size must be positive");
+    }
+
+    /** True when every sample has been emitted. */
+    bool
+    exhausted() const
+    {
+        return read_ == nullptr || emitted_ >= read_->raw.size();
+    }
+
+    /**
+     * Emit the next chunk (the final chunk may be short).  Must not be
+     * called once exhausted().
+     */
+    std::span<const RawSample>
+    next()
+    {
+        if (exhausted())
+            fatal("ChunkSource::next() called past the end of the read");
+        const std::size_t n =
+            std::min(chunkSamples_, read_->raw.size() - emitted_);
+        const auto chunk =
+            std::span<const RawSample>(read_->raw).subspan(emitted_, n);
+        emitted_ += n;
+        return chunk;
+    }
+
+    /** Raw samples emitted so far. */
+    std::size_t emitted() const { return emitted_; }
+
+    /** Raw samples not yet emitted. */
+    std::size_t
+    remaining() const
+    {
+        return read_ == nullptr ? 0 : read_->raw.size() - emitted_;
+    }
+
+    /** Configured chunk size in raw samples. */
+    std::size_t chunkSamples() const { return chunkSamples_; }
+
+    /** The read being replayed (nullptr when default-constructed). */
+    const ReadRecord *read() const { return read_; }
+
+  private:
+    const ReadRecord *read_ = nullptr;
+    std::size_t chunkSamples_ = 0;
+    std::size_t emitted_ = 0;
+};
+
+} // namespace sf::signal
+
+#endif // SF_SIGNAL_CHUNK_SOURCE_HPP

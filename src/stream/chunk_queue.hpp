@@ -1,0 +1,136 @@
+#ifndef SF_STREAM_CHUNK_QUEUE_HPP
+#define SF_STREAM_CHUNK_QUEUE_HPP
+
+/**
+ * @file
+ * Bounded multi-producer multi-consumer queue with backpressure.
+ *
+ * The Read Until session pushes per-channel decision requests into
+ * one of these; worker threads drain it in batches.  The bound is the
+ * backpressure mechanism: when classification falls behind chunk
+ * arrival, push() blocks the event source instead of letting requests
+ * pile up without limit — the software analogue of the accelerator's
+ * fixed number of in-flight tiles.
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace sf::stream {
+
+/** Blocking bounded FIFO shared by producers and consumers. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    /** @param capacity maximum items held; must be positive. */
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity)
+    {
+        if (capacity_ == 0)
+            fatal("BoundedQueue capacity must be positive");
+    }
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /**
+     * Enqueue @p item, blocking while the queue is full
+     * (backpressure).  Returns false if the queue was closed.
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock lock(mutex_);
+        notFull_.wait(lock, [&] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue between 1 and @p max_items items into @p out (appended),
+     * waiting until at least one is available.  Only items already
+     * queued are taken — the call never waits to fill the batch, so a
+     * lone request is dispatched immediately while a backlog is drained
+     * @p max_items at a time.  Returns false when the queue is closed
+     * and drained.
+     */
+    bool
+    popBatch(std::vector<T> &out, std::size_t max_items)
+    {
+        if (max_items == 0)
+            fatal("BoundedQueue batch size must be positive");
+        std::unique_lock lock(mutex_);
+        notEmpty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false; // closed and drained
+        const std::size_t take = std::min(max_items, items_.size());
+        for (std::size_t i = 0; i < take; ++i) {
+            out.push_back(std::move(items_.front()));
+            items_.pop_front();
+        }
+        lock.unlock();
+        notFull_.notify_all();
+        return true;
+    }
+
+    /** Dequeue a single item; false when closed and drained. */
+    bool
+    pop(T &out)
+    {
+        std::vector<T> batch;
+        if (!popBatch(batch, 1))
+            return false;
+        out = std::move(batch.front());
+        return true;
+    }
+
+    /**
+     * Close the queue: producers are refused, consumers drain what is
+     * left and then see false.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard lock(mutex_);
+            closed_ = true;
+        }
+        notFull_.notify_all();
+        notEmpty_.notify_all();
+    }
+
+    /** Items currently queued (racy outside quiescence; for tests). */
+    std::size_t
+    size() const
+    {
+        std::lock_guard lock(mutex_);
+        return items_.size();
+    }
+
+    /** Maximum number of items the queue will hold. */
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::deque<T> items_;
+    std::size_t capacity_;
+    bool closed_ = false;
+};
+
+} // namespace sf::stream
+
+#endif // SF_STREAM_CHUNK_QUEUE_HPP

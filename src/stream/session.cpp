@@ -1,0 +1,370 @@
+#include "stream/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "signal/chunk_source.hpp"
+#include "stream/chunk_queue.hpp"
+
+namespace sf::stream {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Virtual-time event kinds driving the flowcell state machines. */
+enum class EventType {
+    CaptureDone,   //!< strand captured; sequencing starts
+    ChunkDue,      //!< next raw-signal chunk surfaces
+    DecisionApply, //!< classifier outcome takes effect on the pore
+};
+
+/**
+ * One scheduled event.  @p seq breaks virtual-time ties in insertion
+ * order, making the pop order — and therefore the whole decision log —
+ * deterministic regardless of worker count or real-time jitter.
+ */
+struct Event
+{
+    double t = 0.0;
+    std::uint64_t seq = 0;
+    EventType type = EventType::CaptureDone;
+    int channel = 0;
+    std::uint64_t epoch = 0; //!< channel read generation at scheduling
+};
+
+struct EventAfter
+{
+    bool
+    operator()(const Event &a, const Event &b) const
+    {
+        if (a.t != b.t)
+            return a.t > b.t;
+        return a.seq > b.seq;
+    }
+};
+
+/** Unit of work pulled by the classifier workers. */
+struct DecisionRequest
+{
+    int channel = -1;
+    std::vector<RawSample> samples;
+    bool endOfRead = false;
+    Clock::time_point enqueued{};
+};
+
+/** Per-pore state machine. */
+struct Channel
+{
+    enum class Phase { Capturing, Sequencing, Done };
+
+    Phase phase = Phase::Capturing;
+    const signal::ReadRecord *read = nullptr;
+    signal::ChunkSource source;
+    sdtw::ClassifierStream stream;
+    /** Bumped whenever the current read ends; stale events no-op. */
+    std::uint64_t epoch = 0;
+    bool inFlight = false;
+    /** Chunks that surfaced while a decision was in flight. */
+    std::vector<RawSample> backlog;
+    bool backlogEnd = false;
+    double captureDoneSec = 0.0;
+    Rng rng; //!< derived from the session seed and channel index
+};
+
+} // namespace
+
+ReadUntilSession::ReadUntilSession(
+    const sdtw::SquiggleFilterClassifier &classifier,
+    SessionConfig config)
+    : classifier_(classifier), config_(config)
+{
+    if (config_.channels <= 0)
+        fatal("ReadUntilSession needs at least one channel");
+    if (config_.chunkSamples() == 0)
+        fatal("ReadUntilSession chunk must cover at least one sample");
+    if (config_.sampleRateHz <= 0.0)
+        fatal("ReadUntilSession sample rate must be positive");
+    if (config_.workers == 0)
+        config_.workers = std::max(1u, std::thread::hardware_concurrency());
+    if (config_.queueCapacity == 0 || config_.dispatchBatch == 0)
+        fatal("ReadUntilSession queue capacity and dispatch batch must "
+              "be positive");
+}
+
+SessionResult
+ReadUntilSession::run(std::span<const signal::ReadRecord> reads) const
+{
+    const std::size_t chunk_samples = config_.chunkSamples();
+    const double rate = config_.sampleRateHz;
+
+    SessionResult out;
+    SessionStats &stats = out.stats;
+    if (reads.empty())
+        return out;
+
+    std::vector<Channel> channels(std::size_t(config_.channels));
+    for (std::size_t c = 0; c < channels.size(); ++c)
+        channels[c].rng = Rng::derive(config_.seed, c);
+
+    // ---- worker pool: real threads doing the real sDTW compute ----
+    BoundedQueue<DecisionRequest> queue(config_.queueCapacity);
+    std::mutex completion_mutex;
+    std::condition_variable completion_cv;
+    std::vector<std::uint8_t> ready(channels.size(), 0);
+    std::vector<double> latencies_us;
+    std::uint64_t dispatches = 0;
+    std::uint64_t dispatched_requests = 0;
+
+    std::vector<std::thread> workers;
+    workers.reserve(config_.workers);
+    for (unsigned w = 0; w < config_.workers; ++w) {
+        workers.emplace_back([&]() {
+            std::vector<DecisionRequest> batch;
+            while (queue.popBatch(batch, config_.dispatchBatch)) {
+                for (DecisionRequest &req : batch) {
+                    Channel &ch = channels[std::size_t(req.channel)];
+                    classifier_.feedChunk(ch.stream, req.samples);
+                    if (req.endOfRead)
+                        classifier_.finishStream(ch.stream);
+                    const double us =
+                        std::chrono::duration<double, std::micro>(
+                            Clock::now() - req.enqueued)
+                            .count();
+                    {
+                        std::lock_guard lock(completion_mutex);
+                        ready[std::size_t(req.channel)] = 1;
+                        latencies_us.push_back(us);
+                    }
+                    completion_cv.notify_all();
+                }
+                {
+                    std::lock_guard lock(completion_mutex);
+                    ++dispatches;
+                    dispatched_requests += batch.size();
+                }
+                batch.clear();
+            }
+        });
+    }
+
+    // ---- virtual-time event loop -----------------------------------
+    std::priority_queue<Event, std::vector<Event>, EventAfter> events;
+    std::uint64_t seq = 0;
+    const auto schedule = [&](double t, EventType type, int channel,
+                              std::uint64_t epoch) {
+        events.push(Event{t, seq++, type, channel, epoch});
+    };
+
+    std::size_t next_read = 0;
+    const auto begin_capture = [&](int c, double t) {
+        Channel &ch = channels[std::size_t(c)];
+        ch.read = nullptr;
+        if (next_read >= reads.size()) {
+            ch.phase = Channel::Phase::Done;
+            return;
+        }
+        ch.phase = Channel::Phase::Capturing;
+        schedule(t + ch.rng.exponential(config_.captureDelayMeanSec),
+                 EventType::CaptureDone, c, ch.epoch);
+    };
+
+    const auto submit = [&](int c, double t,
+                            std::vector<RawSample> samples, bool end) {
+        Channel &ch = channels[std::size_t(c)];
+        ch.inFlight = true;
+        {
+            std::lock_guard lock(completion_mutex);
+            ready[std::size_t(c)] = 0;
+        }
+        queue.push(DecisionRequest{c, std::move(samples), end,
+                                   Clock::now()}); // blocks when full
+        schedule(t + config_.decisionLatencySec, EventType::DecisionApply,
+                 c, ch.epoch);
+    };
+
+    // Full-sequencing baseline over the same reads, for enrichment.
+    double full_target_samples = 0.0;
+    double full_total_samples = 0.0;
+    const auto account_read = [&](const Channel &ch,
+                                  double sequenced_samples) {
+        stats.totalSamplesSequenced += sequenced_samples;
+        if (ch.read->isTarget())
+            stats.targetSamplesSequenced += sequenced_samples;
+        full_total_samples += double(ch.read->raw.size());
+        if (ch.read->isTarget())
+            full_target_samples += double(ch.read->raw.size());
+    };
+
+    const auto record_decision = [&](Channel &ch, int c, double t) {
+        const sdtw::Classification &r = ch.stream.result;
+        out.log.push_back(DecisionRecord{
+            std::uint64_t(out.log.size()), c, ch.read->id,
+            ch.read->isTarget(), r.keep, r.cost, r.samplesUsed,
+            r.stagesRun, t});
+        stats.confusion.add(ch.read->isTarget(), r.keep);
+        stats.dpRowsFolded += ch.stream.rowsFolded;
+        stats.dpRowsNaive += ch.stream.rowsNaive;
+        (r.keep ? stats.readsKept : stats.readsEjected) += 1;
+    };
+
+    const double max_virtual_sec = config_.maxVirtualHours * 3600.0;
+    const auto wall_start = Clock::now();
+    for (int c = 0; c < config_.channels; ++c)
+        begin_capture(c, 0.0);
+
+    double now = 0.0;
+    while (!events.empty()) {
+        const Event ev = events.top();
+        events.pop();
+        if (ev.t > max_virtual_sec) {
+            warn("ReadUntilSession stopped at the %g h safety limit",
+                 config_.maxVirtualHours);
+            break;
+        }
+        now = ev.t;
+        Channel &ch = channels[std::size_t(ev.channel)];
+        if (ev.epoch != ch.epoch)
+            continue; // event for a read that already finished
+
+        switch (ev.type) {
+        case EventType::CaptureDone: {
+            if (next_read >= reads.size()) {
+                ch.phase = Channel::Phase::Done;
+                break;
+            }
+            ch.read = &reads[next_read++];
+            ch.source = signal::ChunkSource(*ch.read, chunk_samples);
+            ch.stream = classifier_.beginStream();
+            ch.inFlight = false;
+            ch.backlog.clear();
+            ch.backlogEnd = false;
+            ch.captureDoneSec = ev.t;
+            ch.phase = Channel::Phase::Sequencing;
+            if (ch.read->raw.empty()) {
+                // Degenerate read: no signal, keep by convention.
+                classifier_.finishStream(ch.stream);
+                record_decision(ch, ev.channel, ev.t);
+                account_read(ch, 0.0);
+                ++ch.epoch;
+                begin_capture(ev.channel, ev.t);
+                break;
+            }
+            schedule(ev.t + config_.chunkSeconds, EventType::ChunkDue,
+                     ev.channel, ch.epoch);
+            break;
+        }
+
+        case EventType::ChunkDue: {
+            const auto chunk = ch.source.next();
+            ++stats.chunksEmitted;
+            const bool end = ch.source.exhausted();
+            if (ch.inFlight) {
+                ch.backlog.insert(ch.backlog.end(), chunk.begin(),
+                                  chunk.end());
+                ch.backlogEnd |= end;
+            } else {
+                submit(ev.channel, ev.t,
+                       std::vector<RawSample>(chunk.begin(), chunk.end()),
+                       end);
+            }
+            if (!end)
+                schedule(ev.t + config_.chunkSeconds, EventType::ChunkDue,
+                         ev.channel, ch.epoch);
+            break;
+        }
+
+        case EventType::DecisionApply: {
+            {
+                std::unique_lock lock(completion_mutex);
+                completion_cv.wait(lock, [&] {
+                    return ready[std::size_t(ev.channel)] != 0;
+                });
+            }
+            ch.inFlight = false;
+            ++stats.decisions;
+
+            if (!ch.stream.decided) {
+                // Intermediate snapshot: resubmit any chunks that
+                // surfaced while this decision was in flight.
+                if (!ch.backlog.empty() || ch.backlogEnd) {
+                    std::vector<RawSample> samples;
+                    samples.swap(ch.backlog);
+                    const bool end = ch.backlogEnd;
+                    ch.backlogEnd = false;
+                    submit(ev.channel, ev.t, std::move(samples), end);
+                }
+                break;
+            }
+
+            record_decision(ch, ev.channel, ev.t);
+            const double read_samples = double(ch.read->raw.size());
+            if (ch.stream.result.keep || ch.source.exhausted()) {
+                // Kept (or the read ended on its own): the pore
+                // sequences the strand to completion, then waits for
+                // the next capture.
+                account_read(ch, read_samples);
+                const double end_t = std::max(
+                    ev.t, ch.captureDoneSec + read_samples / rate);
+                ++ch.epoch;
+                begin_capture(ev.channel, end_t);
+            } else {
+                // Ejected mid-read: the pore sequenced what was
+                // surfaced plus the decision-latency slip, then pays
+                // reversal + recovery before the next capture.
+                const double sequenced = std::min(
+                    read_samples,
+                    double(ch.source.emitted()) +
+                        config_.decisionLatencySec * rate);
+                account_read(ch, sequenced);
+                ++ch.epoch;
+                begin_capture(ev.channel,
+                              ev.t + config_.ejectLatencySec +
+                                  config_.poreRecoverySec);
+            }
+            break;
+        }
+        }
+    }
+
+    queue.close();
+    for (auto &worker : workers)
+        worker.join();
+    const double wall_sec =
+        std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+    // ---- aggregate statistics --------------------------------------
+    stats.readsProcessed = out.log.size();
+    stats.virtualSeconds = now;
+    stats.wallSeconds = wall_sec;
+    stats.chunksPerSec =
+        wall_sec > 0.0 ? double(stats.chunksEmitted) / wall_sec : 0.0;
+    stats.dispatches = dispatches;
+    stats.meanBatchSize =
+        dispatches > 0 ? double(dispatched_requests) / double(dispatches)
+                       : 0.0;
+    if (!latencies_us.empty()) {
+        stats.latency.p50us = percentile(latencies_us, 50.0);
+        stats.latency.p90us = percentile(latencies_us, 90.0);
+        stats.latency.p99us = percentile(latencies_us, 99.0);
+        stats.latency.maxUs =
+            *std::max_element(latencies_us.begin(), latencies_us.end());
+    }
+    if (stats.totalSamplesSequenced > 0.0 && full_total_samples > 0.0 &&
+        full_target_samples > 0.0) {
+        const double with_ru =
+            stats.targetSamplesSequenced / stats.totalSamplesSequenced;
+        const double without_ru =
+            full_target_samples / full_total_samples;
+        stats.enrichmentFactor = with_ru / without_ru;
+    }
+    return out;
+}
+
+} // namespace sf::stream

@@ -651,6 +651,143 @@ TEST_F(FilterTest, StagePrefixesMustIncrease)
     EXPECT_THROW(classifier.setStages({}), FatalError);
 }
 
+// ---------------------------------------------------------------- //
+//                  checkpointed streaming classifier                 //
+// ---------------------------------------------------------------- //
+
+class StreamApiTest : public FilterTest,
+                      public ::testing::WithParamInterface<std::uint64_t>
+{};
+
+TEST_P(StreamApiTest, ChunkedFeedBitIdenticalToClassifyAnySplit)
+{
+    // The load-bearing pin of the streaming engine: feeding a read in
+    // arbitrary chunks through beginStream()/feedChunk()/
+    // finishStream() must equal classify() on the same signal bit for
+    // bit — decision, cost, refEnd, consumed prefix and stage count.
+    Rng rng(GetParam() ^ 0x57e3a7ULL);
+    SquiggleFilterClassifier classifier(reference());
+    classifier.setStages(
+        {{800, 30000}, {2000, 60000}, {4000, 110000}});
+
+    const auto &eval = makeData(12, 0.5, 40 + GetParam() % 3);
+    for (const auto &read : eval.reads) {
+        const auto offline = classifier.classify(read.raw);
+
+        auto stream = classifier.beginStream();
+        std::size_t offset = 0;
+        while (offset < read.raw.size() && !stream.decided) {
+            const auto len = std::min<std::size_t>(
+                std::size_t(rng.uniformInt(1, 1500)),
+                read.raw.size() - offset);
+            classifier.feedChunk(
+                stream, std::span<const RawSample>(read.raw)
+                            .subspan(offset, len));
+            offset += len;
+        }
+        const auto &streamed = classifier.finishStream(stream);
+
+        EXPECT_EQ(streamed.keep, offline.keep);
+        EXPECT_EQ(streamed.cost, offline.cost);
+        EXPECT_EQ(streamed.refEnd, offline.refEnd);
+        EXPECT_EQ(streamed.samplesUsed, offline.samplesUsed);
+        EXPECT_EQ(streamed.stagesRun, offline.stagesRun);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamApiTest,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+TEST_F(FilterTest, StreamSnapshotTracksStageBoundaries)
+{
+    SquiggleFilterClassifier classifier(reference());
+    classifier.setStages({{1000, 1u << 30}, {2000, 1u << 30}});
+    const auto &eval = makeData(6, 0.5, 41);
+    const auto &read = eval.reads.front();
+    ASSERT_GE(read.raw.size(), 2000u);
+
+    auto stream = classifier.beginStream();
+    // 600 samples: inside stage 1, nothing folded yet.
+    classifier.feedChunk(
+        stream, std::span<const RawSample>(read.raw).subspan(0, 600));
+    EXPECT_EQ(stream.result.samplesUsed, 0u);
+    EXPECT_EQ(stream.consumed, 0u);
+    EXPECT_FALSE(stream.decided);
+    // 600 more: crosses the 1000-sample boundary, snapshot updates.
+    classifier.feedChunk(
+        stream, std::span<const RawSample>(read.raw).subspan(600, 600));
+    EXPECT_EQ(stream.result.samplesUsed, 1000u);
+    EXPECT_EQ(stream.result.stagesRun, 1u);
+    EXPECT_EQ(stream.consumed, 1000u);
+    const Cost snapshot_cost = stream.result.cost;
+    EXPECT_EQ(snapshot_cost,
+              classifier.classify(read.prefix(1000)).cost);
+    // Crossing the final boundary decides with permissive thresholds.
+    classifier.feedChunk(
+        stream, std::span<const RawSample>(read.raw).subspan(1200, 900));
+    EXPECT_TRUE(stream.decided);
+    EXPECT_TRUE(stream.result.keep);
+    EXPECT_EQ(stream.result.samplesUsed, 2000u);
+}
+
+TEST_F(FilterTest, StreamIgnoresChunksAfterDecision)
+{
+    SquiggleFilterClassifier classifier(reference());
+    classifier.setSingleStage(1000, 0); // eject everything immediately
+    const auto &eval = makeData(6, 0.5, 42);
+    const auto &read = eval.reads.front();
+    ASSERT_GE(read.raw.size(), 2000u);
+
+    auto stream = classifier.beginStream();
+    classifier.feedChunk(
+        stream, std::span<const RawSample>(read.raw).subspan(0, 1000));
+    ASSERT_TRUE(stream.decided);
+    EXPECT_FALSE(stream.result.keep);
+    const auto decided = stream.result;
+    const auto rows_folded = stream.rowsFolded;
+
+    classifier.feedChunk(
+        stream, std::span<const RawSample>(read.raw).subspan(1000, 500));
+    EXPECT_EQ(stream.result.cost, decided.cost);
+    EXPECT_EQ(stream.rowsFolded, rows_folded); // no further DP work
+    EXPECT_TRUE(stream.pending.empty());       // not even buffered
+}
+
+TEST_F(FilterTest, StreamWorkCountersModelCheckpointSavings)
+{
+    // A 4-stage schedule evaluated incrementally folds each sample
+    // once (rowsFolded == final prefix) while the naive counter sums
+    // one full re-alignment per decision.
+    SquiggleFilterClassifier classifier(reference());
+    classifier.setStages({{500, 1u << 30},
+                          {1000, 1u << 30},
+                          {1500, 1u << 30},
+                          {2000, 1u << 30}});
+    const auto &eval = makeData(6, 0.5, 43);
+    const auto &read = eval.reads.front();
+    ASSERT_GE(read.raw.size(), 2000u);
+
+    auto stream = classifier.beginStream();
+    classifier.feedChunk(stream, read.raw);
+    ASSERT_TRUE(stream.decided);
+    EXPECT_EQ(stream.rowsFolded, 2000u);
+    EXPECT_EQ(stream.rowsNaive, 500u + 1000u + 1500u + 2000u);
+    EXPECT_EQ(double(stream.rowsNaive) / double(stream.rowsFolded), 2.5);
+}
+
+TEST_F(FilterTest, UniformScheduleScalesThresholdsLinearly)
+{
+    const auto stages = uniformStageSchedule(1600, 5, 20000);
+    ASSERT_EQ(stages.size(), 5u);
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        EXPECT_EQ(stages[i].prefixSamples, (i + 1) * 1600);
+        EXPECT_EQ(stages[i].threshold,
+                  Cost(20000.0 * double((i + 1) * 1600) / 2000.0));
+    }
+    EXPECT_THROW(uniformStageSchedule(0, 5, 1), FatalError);
+    EXPECT_THROW(uniformStageSchedule(100, 0, 1), FatalError);
+}
+
 TEST(Threshold, BestF1SeparatesCleanClusters)
 {
     std::vector<CostSample> costs;

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Tests for the streaming Read Until engine: the bounded MPMC queue,
+ * the chunk source, and the multi-channel ReadUntilSession — above
+ * all that streaming decisions pin bit-identically to the offline
+ * classifier and that the decision log is deterministic regardless of
+ * worker count or queue capacity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "pipeline/experiments.hpp"
+#include "sdtw/filter.hpp"
+#include "signal/chunk_source.hpp"
+#include "stream/chunk_queue.hpp"
+#include "stream/session.hpp"
+
+namespace sf::stream {
+namespace {
+
+// ---------------------------------------------------------------- //
+//                        bounded MPMC queue                         //
+// ---------------------------------------------------------------- //
+
+TEST(BoundedQueue, FifoSingleThread)
+{
+    BoundedQueue<int> queue(8);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(queue.push(i));
+    int item = -1;
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(queue.pop(item));
+        EXPECT_EQ(item, i);
+    }
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueue, BatchPopRespectsLimitAndOrder)
+{
+    BoundedQueue<int> queue(16);
+    for (int i = 0; i < 10; ++i)
+        queue.push(i);
+    std::vector<int> batch;
+    ASSERT_TRUE(queue.popBatch(batch, 4));
+    EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+    ASSERT_TRUE(queue.popBatch(batch, 100));
+    EXPECT_EQ(batch.size(), 10u); // appended the remaining six
+    EXPECT_EQ(batch.back(), 9);
+}
+
+TEST(BoundedQueue, CloseDrainsThenRefuses)
+{
+    BoundedQueue<int> queue(4);
+    queue.push(1);
+    queue.push(2);
+    queue.close();
+    EXPECT_FALSE(queue.push(3));
+    int item = 0;
+    EXPECT_TRUE(queue.pop(item));
+    EXPECT_EQ(item, 1);
+    EXPECT_TRUE(queue.pop(item));
+    EXPECT_EQ(item, 2);
+    EXPECT_FALSE(queue.pop(item));
+}
+
+TEST(BoundedQueue, BackpressureBlocksProducerUntilConsumed)
+{
+    BoundedQueue<int> queue(2);
+    std::atomic<int> produced{0};
+    std::thread producer([&] {
+        for (int i = 0; i < 50; ++i) {
+            queue.push(i);
+            produced.fetch_add(1);
+        }
+    });
+    // The producer cannot run ahead of the capacity-2 buffer.
+    std::vector<int> seen;
+    int item = 0;
+    while (seen.size() < 50 && queue.pop(item)) {
+        seen.push_back(item);
+        EXPECT_LE(produced.load(), int(seen.size()) + 2);
+    }
+    producer.join();
+    ASSERT_EQ(seen.size(), 50u);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(seen[std::size_t(i)], i);
+}
+
+TEST(BoundedQueue, ZeroCapacityIsFatal)
+{
+    EXPECT_THROW(BoundedQueue<int>(0), FatalError);
+}
+
+// ---------------------------------------------------------------- //
+//                           chunk source                            //
+// ---------------------------------------------------------------- //
+
+TEST(ChunkSource, EmitsFixedChunksWithShortTail)
+{
+    signal::ReadRecord read;
+    read.raw.resize(2500);
+    for (std::size_t i = 0; i < read.raw.size(); ++i)
+        read.raw[i] = RawSample(i);
+
+    signal::ChunkSource source(read, 1000);
+    ASSERT_FALSE(source.exhausted());
+    auto a = source.next();
+    EXPECT_EQ(a.size(), 1000u);
+    EXPECT_EQ(a.front(), 0u);
+    auto b = source.next();
+    EXPECT_EQ(b.size(), 1000u);
+    EXPECT_EQ(b.front(), 1000u);
+    auto c = source.next();
+    EXPECT_EQ(c.size(), 500u);
+    EXPECT_TRUE(source.exhausted());
+    EXPECT_EQ(source.emitted(), 2500u);
+    EXPECT_THROW(source.next(), FatalError);
+}
+
+// ---------------------------------------------------------------- //
+//                        session fixtures                           //
+// ---------------------------------------------------------------- //
+
+class SessionTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t kChunk = 1600; // 0.4 s at 4 kHz
+
+    static const sdtw::SquiggleFilterClassifier &
+    classifier()
+    {
+        static const sdtw::SquiggleFilterClassifier instance = [] {
+            sdtw::SquiggleFilterClassifier c(
+                pipeline::streamVirusSquiggle());
+            c.setStages(sdtw::uniformStageSchedule(
+                kChunk, 9, calibratedThreshold()));
+            return c;
+        }();
+        return instance;
+    }
+
+    static Cost
+    calibratedThreshold()
+    {
+        static const Cost threshold =
+            pipeline::calibratedStreamThreshold(40, 0.5, 11);
+        return threshold;
+    }
+
+    static SessionConfig
+    config()
+    {
+        SessionConfig cfg;
+        cfg.channels = 16;
+        cfg.chunkSeconds = double(kChunk) / cfg.sampleRateHz;
+        cfg.workers = 2;
+        cfg.queueCapacity = 32;
+        cfg.dispatchBatch = 4;
+        cfg.seed = 0xbeef;
+        return cfg;
+    }
+
+    static const SessionResult &
+    baselineRun()
+    {
+        static const SessionResult result = [] {
+            const auto &data = pipeline::makeStreamDataset(48, 0.5, 12);
+            return ReadUntilSession(classifier(), config())
+                .run(data.reads);
+        }();
+        return result;
+    }
+};
+
+// ---------------------------------------------------------------- //
+//              streaming pins to the offline classifier             //
+// ---------------------------------------------------------------- //
+
+TEST_F(SessionTest, EveryDecisionMatchesOfflineClassifyBitExactly)
+{
+    const auto &data = pipeline::makeStreamDataset(48, 0.5, 12);
+    const auto &result = baselineRun();
+    ASSERT_EQ(result.log.size(), data.reads.size());
+
+    for (const DecisionRecord &rec : result.log) {
+        const auto &read = data.reads[std::size_t(rec.readId)];
+        ASSERT_EQ(read.id, rec.readId);
+        // Offline path over the full read: identical decision, cost,
+        // consumed prefix and stage count.
+        const auto offline = classifier().classify(read.raw);
+        EXPECT_EQ(rec.keep, offline.keep);
+        EXPECT_EQ(rec.cost, offline.cost);
+        EXPECT_EQ(rec.samplesUsed, offline.samplesUsed);
+        EXPECT_EQ(rec.stagesRun, offline.stagesRun);
+        // And over exactly the prefix the session consumed.
+        const auto prefix = read.prefix(rec.samplesUsed);
+        const auto on_prefix = classifier().classify(prefix);
+        EXPECT_EQ(rec.keep, on_prefix.keep);
+        EXPECT_EQ(rec.cost, on_prefix.cost);
+    }
+}
+
+TEST_F(SessionTest, DecisionLogDeterministicAcrossWorkerCounts)
+{
+    const auto &data = pipeline::makeStreamDataset(48, 0.5, 12);
+    const auto &reference_run = baselineRun();
+
+    for (unsigned workers : {1u, 3u}) {
+        SessionConfig cfg = config();
+        cfg.workers = workers;
+        const auto rerun =
+            ReadUntilSession(classifier(), cfg).run(data.reads);
+        ASSERT_EQ(rerun.log.size(), reference_run.log.size())
+            << "workers=" << workers;
+        for (std::size_t i = 0; i < rerun.log.size(); ++i) {
+            const auto &a = reference_run.log[i];
+            const auto &b = rerun.log[i];
+            EXPECT_EQ(a.order, b.order);
+            EXPECT_EQ(a.channel, b.channel);
+            EXPECT_EQ(a.readId, b.readId);
+            EXPECT_EQ(a.keep, b.keep);
+            EXPECT_EQ(a.cost, b.cost);
+            EXPECT_EQ(a.samplesUsed, b.samplesUsed);
+            EXPECT_EQ(a.stagesRun, b.stagesRun);
+            EXPECT_DOUBLE_EQ(a.virtualSec, b.virtualSec);
+        }
+        EXPECT_EQ(rerun.stats.chunksEmitted,
+                  reference_run.stats.chunksEmitted);
+        EXPECT_EQ(rerun.stats.decisions, reference_run.stats.decisions);
+    }
+}
+
+TEST_F(SessionTest, DecisionLogDeterministicUnderTightBackpressure)
+{
+    const auto &data = pipeline::makeStreamDataset(48, 0.5, 12);
+    const auto &reference_run = baselineRun();
+
+    SessionConfig cfg = config();
+    cfg.queueCapacity = 1; // worst-case backpressure
+    cfg.dispatchBatch = 1;
+    const auto rerun =
+        ReadUntilSession(classifier(), cfg).run(data.reads);
+    ASSERT_EQ(rerun.log.size(), reference_run.log.size());
+    for (std::size_t i = 0; i < rerun.log.size(); ++i) {
+        EXPECT_EQ(reference_run.log[i].readId, rerun.log[i].readId);
+        EXPECT_EQ(reference_run.log[i].keep, rerun.log[i].keep);
+        EXPECT_EQ(reference_run.log[i].cost, rerun.log[i].cost);
+    }
+}
+
+// ---------------------------------------------------------------- //
+//                     session behaviour and stats                   //
+// ---------------------------------------------------------------- //
+
+TEST_F(SessionTest, ProcessesEveryReadExactlyOnce)
+{
+    const auto &data = pipeline::makeStreamDataset(48, 0.5, 12);
+    const auto &result = baselineRun();
+
+    EXPECT_EQ(result.stats.readsProcessed, data.reads.size());
+    EXPECT_EQ(result.stats.readsKept + result.stats.readsEjected,
+              data.reads.size());
+    std::vector<bool> seen(data.reads.size(), false);
+    for (const auto &rec : result.log) {
+        ASSERT_LT(rec.readId, seen.size());
+        EXPECT_FALSE(seen[std::size_t(rec.readId)]);
+        seen[std::size_t(rec.readId)] = true;
+    }
+    EXPECT_GT(result.stats.chunksEmitted, 0u);
+    EXPECT_GT(result.stats.decisions, 0u);
+    EXPECT_GT(result.stats.virtualSeconds, 0.0);
+    EXPECT_GT(result.stats.latency.p99us, 0.0);
+    EXPECT_GE(result.stats.latency.p99us, result.stats.latency.p50us);
+    EXPECT_GE(result.stats.meanBatchSize, 1.0);
+}
+
+TEST_F(SessionTest, ClassifiesAccuratelyAndEnriches)
+{
+    const auto &result = baselineRun();
+    // The calibrated schedule must still separate the classes when
+    // driven chunk-by-chunk through the session.
+    EXPECT_GT(result.stats.confusion.f1(), 0.8);
+    // Ejecting background early concentrates pore time on targets.
+    EXPECT_GT(result.stats.enrichmentFactor, 1.05);
+    EXPECT_GT(result.stats.readsEjected, 0u);
+}
+
+TEST_F(SessionTest, CheckpointingBeatsRealignmentOnDpWork)
+{
+    const auto &result = baselineRun();
+    // Re-aligning the whole prefix at every per-chunk decision does
+    // quadratic work; the checkpointed stream is linear.  The margin
+    // here is loose — the bench records the exact ratio.
+    EXPECT_GE(result.stats.dpWorkRatio(), 2.0);
+    EXPECT_GT(result.stats.dpRowsFolded, 0u);
+}
+
+TEST_F(SessionTest, VirtualTimelineOrdersTheLog)
+{
+    const auto &result = baselineRun();
+    for (std::size_t i = 1; i < result.log.size(); ++i)
+        EXPECT_GE(result.log[i].virtualSec, result.log[i - 1].virtualSec);
+}
+
+TEST_F(SessionTest, EmptyReadListIsANoop)
+{
+    const auto result = ReadUntilSession(classifier(), config())
+                            .run(std::span<const signal::ReadRecord>{});
+    EXPECT_TRUE(result.log.empty());
+    EXPECT_EQ(result.stats.readsProcessed, 0u);
+}
+
+TEST_F(SessionTest, MoreReadsThanChannelsRotatesPores)
+{
+    // 48 reads over 16 channels: every channel must turn over.
+    const auto &result = baselineRun();
+    std::vector<std::size_t> per_channel(16, 0);
+    for (const auto &rec : result.log)
+        per_channel[std::size_t(rec.channel)]++;
+    for (std::size_t c = 0; c < per_channel.size(); ++c)
+        EXPECT_GE(per_channel[c], 1u) << "channel " << c;
+}
+
+TEST_F(SessionTest, InvalidConfigIsFatal)
+{
+    SessionConfig cfg = config();
+    cfg.channels = 0;
+    EXPECT_THROW(ReadUntilSession(classifier(), cfg), FatalError);
+    cfg = config();
+    cfg.chunkSeconds = 0.0;
+    EXPECT_THROW(ReadUntilSession(classifier(), cfg), FatalError);
+    cfg = config();
+    cfg.queueCapacity = 0;
+    EXPECT_THROW(ReadUntilSession(classifier(), cfg), FatalError);
+}
+
+} // namespace
+} // namespace sf::stream
