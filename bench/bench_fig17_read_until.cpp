@@ -23,6 +23,7 @@
 #include "basecall/oracle.hpp"
 #include "common/table.hpp"
 #include "readuntil/model.hpp"
+#include "sdtw/batch.hpp"
 #include "stream/session.hpp"
 
 using namespace sf;
@@ -66,10 +67,28 @@ runStreamingSection(std::size_t per_class)
         kChunkSamples, kDecisions, threshold));
 
     stream::SessionConfig cfg;
-    cfg.channels = 64;
+    cfg.channels = 128;
     cfg.chunkSeconds = double(kChunkSamples) / cfg.sampleRateHz;
     cfg.workers = 0; // hardware concurrency
     cfg.seed = 0x17f1;
+    // Decision budget: this section measures the *software* backend,
+    // so the virtual budget models software-class decision latency
+    // (~100 ms budget; the measured software p50 against the ~97k-sample
+    // lambda reference on one core is ~200 ms) rather than the ASIC's 43 us.  This is
+    // what makes the worker pool's cross-channel request batching
+    // real: several channels' chunks land inside one decision window,
+    // so dispatches carry multi-read batches for the SIMD lanes to
+    // fold together.  (With the 43 us ASIC budget every decision is
+    // applied before the next chunk surfaces and batches never form.)
+    cfg.decisionLatencySec = 0.1;
+    // SF_FIG17_LANE_BATCH=0 measures the serial worker path for A/B
+    // comparison; decisions are bit-identical either way.
+    if (const char *lane = std::getenv("SF_FIG17_LANE_BATCH"))
+        cfg.laneBatching = std::strcmp(lane, "0") != 0;
+    const char *simd =
+        cfg.laneBatching
+            ? sdtw::simdBackendName(sdtw::detectSimdBackend())
+            : "serial";
     const stream::ReadUntilSession session(classifier, cfg);
     const auto result = session.run(data.reads);
     const auto &s = result.stats;
@@ -80,6 +99,10 @@ runStreamingSection(std::size_t per_class)
     table.addRow({"channels / workers",
                   fmtInt(cfg.channels) + " / " +
                       fmtInt(long(std::thread::hardware_concurrency()))});
+    table.addRow({"worker sDTW path",
+                  cfg.laneBatching
+                      ? std::string("lane-batched (") + simd + ")"
+                      : "serial"});
     table.addRow({"decision schedule",
                   fmtInt(long(kDecisions)) + " stages x " +
                       fmtInt(long(kChunkSamples)) + " samples"});
@@ -113,10 +136,12 @@ runStreamingSection(std::size_t per_class)
     std::printf("BENCH_STREAM_JSON {\"chunks_per_s\": %.1f, "
                 "\"p50_us\": %.1f, \"p99_us\": %.1f, "
                 "\"dp_work_ratio\": %.2f, \"enrichment\": %.3f, "
-                "\"f1\": %.3f, \"reads\": %zu, \"decisions\": %zu}\n",
+                "\"f1\": %.3f, \"reads\": %zu, \"decisions\": %zu, "
+                "\"lane_batching\": %s, \"simd\": \"%s\"}\n",
                 s.chunksPerSec, s.latency.p50us, s.latency.p99us,
                 s.dpWorkRatio(), s.enrichmentFactor, s.confusion.f1(),
-                s.readsProcessed, std::size_t(s.decisions));
+                s.readsProcessed, std::size_t(s.decisions),
+                cfg.laneBatching ? "true" : "false", simd);
 }
 
 } // namespace
@@ -128,9 +153,14 @@ main()
 
     const auto per_class = pipeline::scaledReads(24);
 
+    // Section (d) uses a denser read mix than the accuracy sections:
+    // enough in-flight reads to keep most of the 128 channels busy, so
+    // the worker pool sees realistic cross-channel request pressure.
+    const auto stream_per_class = pipeline::scaledReads(96);
+
     const char *section = std::getenv("SF_FIG17_SECTION");
     if (section != nullptr && std::strcmp(section, "stream") == 0) {
-        runStreamingSection(per_class);
+        runStreamingSection(stream_per_class);
         return 0;
     }
     const std::vector<std::size_t> prefixes{1000, 2000, 4000};
@@ -243,6 +273,6 @@ main()
                 "thresholds add a further ~13.3%%.\n\n");
 
     // ---- (d) the streaming multi-channel session ----
-    runStreamingSection(per_class);
+    runStreamingSection(stream_per_class);
     return 0;
 }

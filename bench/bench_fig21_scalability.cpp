@@ -6,15 +6,62 @@
  * ~114x.  Includes a tile-count extension sweep (DESIGN.md §6).
  */
 
+#include <chrono>
+
 #include "bench_util.hpp"
 #include "basecall/perf_model.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "hw/asic_model.hpp"
 #include "readuntil/model.hpp"
+#include "sdtw/batch.hpp"
 
 using namespace sf;
 
 namespace {
+
+/**
+ * Measure the lane-batched software kernel's aggregate throughput at
+ * one lane count against a SARS-CoV-2-sized reference.  Returns raw
+ * samples/s (divide cells/s by the reference length), the currency
+ * the pore-coverage comparison below uses.
+ */
+double
+measureBatchedSamplesPerSec(std::size_t lanes_n, std::size_t ref_len)
+{
+    constexpr std::size_t kQueryLen = 500;
+    Rng rng(0x21b + lanes_n);
+    std::vector<std::vector<NormSample>> queries(lanes_n);
+    for (auto &q : queries) {
+        q.resize(kQueryLen);
+        for (auto &s : q)
+            s = NormSample(rng.uniformInt(-128, 127));
+    }
+    std::vector<NormSample> ref(ref_len);
+    for (auto &s : ref)
+        s = NormSample(rng.uniformInt(-128, 127));
+
+    sdtw::BatchSdtw kernel(sdtw::hardwareConfig(), lanes_n);
+    kernel.setSerialCutover(0);
+    std::vector<sdtw::QuantSdtw::State> states(lanes_n);
+    std::vector<sdtw::BatchLane> lanes(lanes_n);
+    const auto run = [&] {
+        for (std::size_t i = 0; i < lanes_n; ++i) {
+            states[i].reset();
+            lanes[i].state = &states[i];
+            lanes[i].query = queries[i];
+        }
+        kernel.processMany(lanes, ref);
+    };
+    run(); // warm-up: first-touch the interleaved DP buffers untimed
+
+    const auto start = std::chrono::steady_clock::now();
+    run();
+    const double sec = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    return sec > 0.0 ? double(lanes_n) * double(kQueryLen) / sec : 0.0;
+}
 
 double
 hoursAt(double scale, double coverage_fraction, double tpr, double fpr,
@@ -101,5 +148,36 @@ main()
                           3)});
     }
     tiles.print();
+
+    // ---- extension: measured lane-batched software backend ---------
+    // How far does the *software* SIMD kernel (one CPU core, reads
+    // packed across vector lanes — src/sdtw/batch.hpp) get toward the
+    // same pore-coverage question the ASIC rows answer with modelled
+    // numbers?  Coverage here is measured aggregate samples/s against
+    // the MinION's maximum output at 1x.
+    Table sw("Extension: measured lane-batched software sDTW "
+             "(1 core, SARS-CoV-2-sized reference)",
+             {"Lanes", "Aggregate cells/s", "Samples/s",
+              "Pore coverage @1x"});
+    const std::size_t ref_len = sars.size();
+    const auto backend = sdtw::detectSimdBackend();
+    for (std::size_t lanes_n : {std::size_t(1), std::size_t(8),
+                                std::size_t(16), std::size_t(32)}) {
+        const double samples_s =
+            measureBatchedSamplesPerSec(lanes_n, ref_len);
+        sw.addRow({fmtInt(long(lanes_n)),
+                   fmt(samples_s * double(ref_len) / 1e9, 2) + "G",
+                   fmtInt(long(samples_s / 1e3)) + "k",
+                   fmtPct(std::min(1.0, samples_s /
+                                            kMinionMaxSamplesPerSec),
+                          2)});
+    }
+    sw.print();
+    std::printf("SIMD backend: %s (%zu cost lanes per op).  The "
+                "software kernel covers a small fraction of one "
+                "flowcell per core — the gap the paper's systolic "
+                "array exists to close.\n",
+                sdtw::simdBackendName(backend),
+                sdtw::simdLaneWidth(backend));
     return 0;
 }

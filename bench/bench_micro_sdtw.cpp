@@ -7,9 +7,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "common/rng.hpp"
 #include "hw/systolic.hpp"
 #include "pipeline/experiments.hpp"
+#include "sdtw/batch.hpp"
 #include "sdtw/engine.hpp"
 #include "sdtw/normalizer.hpp"
 #include "sdtw/vanilla.hpp"
@@ -26,6 +29,24 @@ randomQuant(std::size_t n, std::uint64_t seed)
     for (auto &s : out)
         s = NormSample(rng.uniformInt(-128, 127));
     return out;
+}
+
+/**
+ * Attach the shared throughput counters: cells/s (DP cells folded per
+ * second) and samples/s (query samples folded per second).  Both are
+ * derived from the *actual* query/reference lengths of the run — an
+ * earlier version hardcoded the reference length in one section,
+ * mislabelling rows whenever the configured shape changed.
+ */
+void
+setThroughputCounters(benchmark::State &state, double queries_per_iter,
+                      double reference_len)
+{
+    state.counters["cells/s"] = benchmark::Counter(
+        queries_per_iter * reference_len,
+        benchmark::Counter::kIsIterationInvariantRate);
+    state.counters["samples/s"] = benchmark::Counter(
+        queries_per_iter, benchmark::Counter::kIsIterationInvariantRate);
 }
 
 /**
@@ -94,9 +115,8 @@ BM_QuantSdtwScalarSeed(benchmark::State &state)
     }
     state.SetItemsProcessed(std::int64_t(state.iterations()) *
                             state.range(0) * state.range(1));
-    state.counters["cells/s"] = benchmark::Counter(
-        double(state.range(0)) * double(state.range(1)),
-        benchmark::Counter::kIsIterationInvariantRate);
+    setThroughputCounters(state, double(query.size()),
+                          double(ref.size()));
 }
 BENCHMARK(BM_QuantSdtwScalarSeed)->Args({500, 10000})->Args({2000, 10000});
 
@@ -111,9 +131,8 @@ BM_QuantSdtw(benchmark::State &state)
     }
     state.SetItemsProcessed(std::int64_t(state.iterations()) *
                             state.range(0) * state.range(1));
-    state.counters["cells/s"] = benchmark::Counter(
-        double(state.range(0)) * double(state.range(1)),
-        benchmark::Counter::kIsIterationInvariantRate);
+    setThroughputCounters(state, double(query.size()),
+                          double(ref.size()));
 }
 BENCHMARK(BM_QuantSdtw)
     ->Args({500, 10000})
@@ -130,9 +149,11 @@ BM_QuantSdtwNoBonus(benchmark::State &state)
     const sdtw::QuantSdtw engine(config);
     for (auto _ : state)
         benchmark::DoNotOptimize(engine.align(query, ref));
-    state.counters["cells/s"] = benchmark::Counter(
-        2000.0 * double(state.range(0)),
-        benchmark::Counter::kIsIterationInvariantRate);
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(query.size()) *
+                            std::int64_t(ref.size()));
+    setThroughputCounters(state, double(query.size()),
+                          double(ref.size()));
 }
 BENCHMARK(BM_QuantSdtwNoBonus)->Arg(10000);
 
@@ -148,9 +169,8 @@ BM_FloatSdtwVanilla(benchmark::State &state)
     const sdtw::FloatSdtw engine(sdtw::vanillaConfig());
     for (auto _ : state)
         benchmark::DoNotOptimize(engine.align(query, ref));
-    state.counters["cells/s"] = benchmark::Counter(
-        double(query.size()) * double(ref.size()),
-        benchmark::Counter::kIsIterationInvariantRate);
+    setThroughputCounters(state, double(query.size()),
+                          double(ref.size()));
 }
 BENCHMARK(BM_FloatSdtwVanilla);
 
@@ -166,6 +186,50 @@ BM_Normalizer(benchmark::State &state)
     state.SetItemsProcessed(std::int64_t(state.iterations()) * 2000);
 }
 BENCHMARK(BM_Normalizer);
+
+/**
+ * Lane-batched kernel: B independent 2000-sample reads folded against
+ * one reference, struct-of-arrays across SIMD lanes.  cells/s and
+ * samples/s are *aggregate* over all lanes — the number to compare
+ * against BM_QuantSdtw's single-read throughput.  Registered once per
+ * available backend in main() (BM_BatchSdtw<avx2>/16/10000, ...).
+ */
+void
+BM_BatchSdtwBackend(benchmark::State &state, sdtw::SimdBackend backend)
+{
+    const auto lanes_n = std::size_t(state.range(0));
+    const auto ref_len = std::size_t(state.range(1));
+    constexpr std::size_t kQueryLen = 2000;
+
+    std::vector<std::vector<NormSample>> queries(lanes_n);
+    for (std::size_t i = 0; i < lanes_n; ++i)
+        queries[i] = randomQuant(kQueryLen, 100 + i);
+    const auto ref = randomQuant(ref_len, 2);
+
+    sdtw::BatchSdtw kernel(sdtw::hardwareConfig(), lanes_n, backend);
+    kernel.setSerialCutover(0); // measure the batched path only
+    std::vector<sdtw::QuantSdtw::State> states(lanes_n);
+    std::vector<sdtw::BatchLane> lanes(lanes_n);
+
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < lanes_n; ++i) {
+            states[i].reset();
+            lanes[i].state = &states[i];
+            lanes[i].query = queries[i];
+        }
+        kernel.processMany(lanes, ref);
+        benchmark::DoNotOptimize(lanes[0].result.cost);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(lanes_n) *
+                            std::int64_t(kQueryLen) *
+                            std::int64_t(ref_len));
+    setThroughputCounters(state,
+                          double(lanes_n) * double(kQueryLen),
+                          double(ref_len));
+    state.counters["lane_width"] =
+        benchmark::Counter(double(kernel.laneWidth()));
+}
 
 void
 BM_SystolicArraySim(benchmark::State &state)
@@ -183,4 +247,33 @@ BENCHMARK(BM_SystolicArraySim)->Args({64, 2000})->Args({256, 2000});
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // The batched benches are registered at runtime, once per backend
+    // this host can actually execute: the best backend gets the full
+    // shape sweep, the others one comparison shape each.
+    const sdtw::SimdBackend best = sdtw::detectSimdBackend();
+    for (sdtw::SimdBackend backend :
+         {sdtw::SimdBackend::Scalar, sdtw::SimdBackend::Sse2,
+          sdtw::SimdBackend::Avx2, sdtw::SimdBackend::Avx512}) {
+        if (!sdtw::simdBackendAvailable(backend))
+            continue;
+        const std::string name = std::string("BM_BatchSdtw<") +
+                                 sdtw::simdBackendName(backend) + ">";
+        auto *bench = benchmark::RegisterBenchmark(
+            name.c_str(), BM_BatchSdtwBackend, backend);
+        bench->Args({16, 10000});
+        if (backend == best) {
+            bench->Args({8, 10000})
+                ->Args({32, 10000})
+                ->Args({16, 59796}); // SARS-CoV-2-sized reference
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,13 +1,24 @@
 #!/usr/bin/env bash
 # Performance regression gate for CI.
 #
-# 1. Runs bench_micro_sdtw (google-benchmark) and fails when the
-#    specialised kernel's cells/s drops more than SF_BENCH_GATE_MARGIN
-#    percent (default 15) below the baseline in BENCH_sdtw.json.
+# 1. Runs bench_micro_sdtw (google-benchmark) and fails when
+#    - the specialised single-read kernel's cells/s drops more than
+#      SF_BENCH_GATE_MARGIN percent (default 15) below the baseline in
+#      BENCH_sdtw.json, or
+#    - the lane-batched kernel's aggregate cells/s drops the same way
+#      below the 'batched' baselines (only shapes/backends this host
+#      can measure are checked), or
+#    - the best batched backend stops beating the same-run serial
+#      kernel (ratio floor 1.1: lane batching must never be a loss).
 # 2. Runs the streaming session section of bench_fig17_read_until and
 #    fails when chunks/s regresses the same way against
 #    BENCH_stream.json, or when the checkpointed-DP work advantage
 #    falls below 5x.
+#
+# Every run writes an inspectable report to ${build_dir}/bench_gate/
+# (raw google-benchmark JSON, the measured stream line, and a rendered
+# text trend vs the baselines); CI uploads that directory as a
+# workflow artifact.
 #
 # Usage:
 #   scripts/bench_gate.sh             # gate against both baselines
@@ -34,37 +45,45 @@ cd "${repo_root}"
 cmake -B "${build_dir}" -S . >/dev/null
 cmake --build "${build_dir}" -j --target bench_fig17_read_until >/dev/null
 
-# ---- 1. sDTW kernel gate ------------------------------------------ #
+report_dir="${build_dir}/bench_gate"
+mkdir -p "${report_dir}"
+summary="${report_dir}/summary.txt"
+: >"${summary}"
+
+# ---- 1. sDTW kernel gate (serial + lane-batched) ------------------ #
 # Skip only when google-benchmark was genuinely absent at configure
 # time; a bench_micro_sdtw *build failure* must fail the gate, not
 # silently disable it.
 if grep -q '^benchmark_DIR:PATH=.*-NOTFOUND' \
     "${build_dir}/CMakeCache.txt" 2>/dev/null; then
-    echo "sdtw kernel gate: SKIPPED (google-benchmark not available)"
+    echo "sdtw kernel gate: SKIPPED (google-benchmark not available)" |
+        tee -a "${summary}"
 else
     cmake --build "${build_dir}" -j --target bench_micro_sdtw >/dev/null
     "${build_dir}/bench_micro_sdtw" --benchmark_format=json \
-        --benchmark_min_time=0.2 >/tmp/sf_bench_sdtw.json
-    python3 - "$margin" <<'EOF'
+        --benchmark_min_time=0.2 >"${report_dir}/micro_sdtw.json"
+    python3 - "$margin" "${report_dir}/micro_sdtw.json" <<'EOF' |
 import json, re, sys
 
 margin = float(sys.argv[1])
 with open("BENCH_sdtw.json") as f:
     baseline = json.load(f)
-with open("/tmp/sf_bench_sdtw.json") as f:
+with open(sys.argv[2]) as f:
     measured = json.load(f)
 
-# Baseline rows keyed by "<query_len>x<reference_len>"; measured
-# benchmark names look like BM_QuantSdtwSpecialized/500/10000.
+failures = []
+
+# --- serial rows: BM_QuantSdtw/<q>/<m> vs 'specialized' baselines ---
 base = {f"{r['query_len']}x{r['reference_len']}": r["cells_per_s"]
         for r in baseline["results"] if r["variant"] == "specialized"}
-failures = []
+serial_measured = {}
 checked = 0
 for bench in measured["benchmarks"]:
     m = re.fullmatch(r"BM_QuantSdtw/(\d+)/(\d+)", bench["name"])
     if not m:
         continue
     key = f"{m.group(1)}x{m.group(2)}"
+    serial_measured[key] = bench["items_per_second"]
     if key not in base:
         continue
     cells = bench["items_per_second"]
@@ -77,10 +96,61 @@ for bench in measured["benchmarks"]:
         failures.append(key)
 if checked == 0:
     sys.exit("bench gate matched no sdtw benchmarks against the baseline")
+
+# --- batched rows: BM_BatchSdtw<simd>/<lanes>/<m> ------------------ #
+bbase = {(r["simd"], r["lanes"], r["reference_len"]): r["cells_per_s"]
+         for r in baseline.get("batched", {}).get("results", [])}
+best_batched = 0.0
+bchecked = 0
+for bench in measured["benchmarks"]:
+    m = re.fullmatch(r"BM_BatchSdtw<(\w+)>/(\d+)/(\d+)", bench["name"])
+    if not m:
+        continue
+    key = (m.group(1), int(m.group(2)), int(m.group(3)))
+    cells = bench["items_per_second"]
+    best_batched = max(best_batched, cells)
+    if key not in bbase:
+        continue
+    floor = bbase[key] * (1.0 - margin / 100.0)
+    status = "OK " if cells >= floor else "FAIL"
+    print(f"  [{status}] batched {key[0]} {key[1]}x2000x{key[2]}: "
+          f"{cells/1e9:.2f} G cells/s aggregate "
+          f"(baseline {bbase[key]/1e9:.2f}, floor {floor/1e9:.2f})")
+    bchecked += 1
+    if cells < floor:
+        failures.append(f"batched-{key[0]}-{key[1]}")
+if bchecked == 0:
+    sys.exit("bench gate matched no batched benchmarks against the "
+             "baseline (BM_BatchSdtw rows missing?)")
+
+# Lane batching must beat the same-run serial kernel at full
+# occupancy, whatever this host's absolute speed is.  Only enforced
+# when an AVX2-or-wider backend ran: the checked-in baselines show
+# lane batching is (expectedly) a loss on SSE2/scalar-only hosts,
+# where the dispatch cutover keeps it disabled in production paths.
+wide = {m.group(1)
+        for b in measured["benchmarks"]
+        if (m := re.fullmatch(r"BM_BatchSdtw<(\w+)>/.*", b["name"]))}
+serial_ctl = serial_measured.get("2000x10000")
+if serial_ctl and best_batched > 0.0 and wide & {"avx2", "avx512"}:
+    ratio = best_batched / serial_ctl
+    # Scale the floor with the gate margin: shared CI runners are
+    # heterogeneous (AVX2-only vs AVX-512) and noisy, and the margin
+    # is the single knob for that.
+    floor_ratio = 1.1 * (1.0 - margin / 100.0)
+    status = "OK " if ratio >= floor_ratio else "FAIL"
+    print(f"  [{status}] batched/serial same-run ratio: {ratio:.2f}x "
+          f"(floor {floor_ratio:.2f})")
+    if ratio < floor_ratio:
+        failures.append("batched-vs-serial-ratio")
+
 if failures:
-    sys.exit(f"sdtw kernel regressed >{margin}% on: {', '.join(failures)}")
+    sys.exit(f"sdtw kernel regressed >{margin}% on: "
+             f"{', '.join(str(f) for f in failures)}")
 EOF
-    echo "sdtw kernel gate: green (margin ${margin}%)"
+        tee -a "${summary}"
+    echo "sdtw kernel gate: green (margin ${margin}%)" |
+        tee -a "${summary}"
 fi
 
 # ---- 2. streaming session gate ------------------------------------ #
@@ -94,7 +164,8 @@ if [[ -z "${stream_line}" ]]; then
     echo "bench_fig17_read_until produced no BENCH_STREAM_JSON line" >&2
     exit 1
 fi
-echo "measured stream: ${stream_line}"
+echo "measured stream: ${stream_line}" | tee -a "${summary}"
+printf '%s\n' "${stream_line}" >"${report_dir}/stream.json"
 
 if [[ "${record}" == "1" ]]; then
     python3 - "$stream_line" <<'EOF'
@@ -112,7 +183,7 @@ EOF
     exit 0
 fi
 
-python3 - "$stream_line" "$margin" <<'EOF'
+python3 - "$stream_line" "$margin" <<'EOF' | tee -a "${summary}"
 import json, sys
 
 measured = json.loads(sys.argv[1])
@@ -133,6 +204,10 @@ print(f"  [OK ] chunks/s {measured['chunks_per_s']:.1f} "
 print(f"  [OK ] DP work ratio {measured['dp_work_ratio']:.2f} (>= 5)")
 print(f"  [inf] p50 {measured['p50_us']:.0f} us, "
       f"p99 {measured['p99_us']:.0f} us, "
-      f"enrichment {measured['enrichment']:.2f}x")
+      f"enrichment {measured['enrichment']:.2f}x, "
+      f"lane batching {measured.get('lane_batching')} "
+      f"({measured.get('simd', '?')})")
 EOF
-echo "streaming session gate: green (margin ${margin}%)"
+echo "streaming session gate: green (margin ${margin}%)" |
+    tee -a "${summary}"
+echo "bench gate report written to ${report_dir}" | tee -a "${summary}"

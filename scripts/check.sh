@@ -6,6 +6,10 @@
 #   scripts/check.sh             # full verify: configure, build, ctest
 #   scripts/check.sh --smoke     # quick pass: build + brief-output
 #                                # gtest binaries only (no ctest)
+#   scripts/check.sh --quick     # build + `ctest -L quick`: only the
+#                                # sub-second suites (see
+#                                # SF_QUICK_SUITES in CMakeLists.txt),
+#                                # for the edit-compile-test loop
 #   scripts/check.sh --sanitize  # ASan+UBSan build into build-asan/
 #                                # and the full ctest suite under it
 #
@@ -21,9 +25,10 @@ mode="full"
 case "${1:-}" in
     "") ;;
     --smoke) mode="smoke" ;;
+    --quick) mode="quick" ;;
     --sanitize) mode="sanitize" ;;
     *)
-        echo "usage: $0 [--smoke|--sanitize]" >&2
+        echo "usage: $0 [--smoke|--quick|--sanitize]" >&2
         exit 2
         ;;
 esac
@@ -54,6 +59,10 @@ if [[ "${mode}" == "smoke" ]]; then
         "${test_bin}" --gtest_brief=1
     done
     echo "smoke: all test binaries green"
+elif [[ "${mode}" == "quick" ]]; then
+    cd "${build_dir}"
+    ctest --output-on-failure -j -L quick
+    echo "quick: sub-second suites green (full suite: scripts/check.sh)"
 else
     cd "${build_dir}"
     ctest --output-on-failure -j

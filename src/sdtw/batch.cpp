@@ -1,0 +1,423 @@
+#include "sdtw/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hpp"
+
+namespace sf::sdtw {
+
+namespace detail {
+namespace {
+
+/** Reference Ops: one lane of plain integers — the portable path. */
+struct ScalarOps
+{
+    // Strip-mining hurts the scalar path (measured ~2x slower): the
+    // per-column strip chain adds register pressure without any lane
+    // amortisation to pay for it.  One row per sweep.
+    static constexpr int kMaxStrip = 1;
+    static constexpr std::size_t W = 1;
+    using Vec = std::uint32_t;
+    using Mask = bool;
+
+    static Vec broadcast(std::int32_t v) { return Vec(v); }
+    static Vec loadI32(const std::int32_t *p) { return Vec(*p); }
+    static Vec loadU32(const Cost *p) { return *p; }
+    static void storeU32(Cost *p, Vec v) { *p = v; }
+    static Vec loadDwell(const std::uint8_t *p) { return *p; }
+    static void storeDwell(std::uint8_t *p, Vec v)
+    {
+        *p = std::uint8_t(v);
+    }
+    static Vec addI32(Vec a, Vec b) { return a + b; }
+    static Vec subI32(Vec a, Vec b) { return a - b; }
+    static Vec mulI32(Vec a, Vec b) { return a * b; }
+    static Vec absI32(Vec v)
+    {
+        const auto s = std::int32_t(v);
+        return Vec(s < 0 ? -s : s);
+    }
+    static Vec shlI32(Vec v, int count) { return v << count; }
+    static Vec minI32(Vec a, Vec b)
+    {
+        return std::int32_t(a) < std::int32_t(b) ? a : b;
+    }
+    static Vec minU32(Vec a, Vec b) { return a < b ? a : b; }
+    static Vec maxU32(Vec a, Vec b) { return a > b ? a : b; }
+    static Mask leU32(Vec a, Vec b) { return a <= b; }
+    static Mask ltU32(Vec a, Vec b) { return a < b; }
+    static Mask gtU32(Vec a, Vec b) { return a > b; }
+    static Vec select(Mask m, Vec t, Vec f) { return m ? t : f; }
+    /** kgt ? min(dw + 1, cap) : 1 (the post-fold dwell update). */
+    static Vec dwellBump(Vec dw, Vec one, Vec capv, Vec, Mask kgt)
+    {
+        return select(kgt, minI32(addI32(dw, one), capv), one);
+    }
+};
+
+} // namespace
+
+FoldRowFns
+resolveFoldRowScalar(const SdtwConfig &config, bool use_bonus)
+{
+    return resolveFoldRow<ScalarOps>(config, use_bonus);
+}
+
+} // namespace detail
+
+namespace {
+
+bool
+backendCompiledIn(SimdBackend backend)
+{
+    switch (backend) {
+    case SimdBackend::Scalar:
+        return true;
+    case SimdBackend::Sse2:
+#if defined(__SSE2__)
+        return true;
+#else
+        return false;
+#endif
+    case SimdBackend::Avx2:
+#if defined(SF_BATCH_HAVE_AVX2)
+        return true;
+#else
+        return false;
+#endif
+    case SimdBackend::Avx512:
+#if defined(SF_BATCH_HAVE_AVX512)
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+bool
+cpuSupports(SimdBackend backend)
+{
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+    switch (backend) {
+    case SimdBackend::Scalar:
+        return true;
+    case SimdBackend::Sse2:
+        return __builtin_cpu_supports("sse2") != 0;
+    case SimdBackend::Avx2:
+        return __builtin_cpu_supports("avx2") != 0;
+    case SimdBackend::Avx512:
+        return __builtin_cpu_supports("avx512f") != 0 &&
+               __builtin_cpu_supports("avx512bw") != 0 &&
+               __builtin_cpu_supports("avx512vl") != 0;
+    }
+    return false;
+#else
+    return backend == SimdBackend::Scalar;
+#endif
+}
+
+detail::FoldRowFns
+resolveFold(SimdBackend backend, const SdtwConfig &config, bool use_bonus)
+{
+    switch (backend) {
+    case SimdBackend::Scalar:
+        break;
+#if defined(__SSE2__)
+    case SimdBackend::Sse2:
+        return detail::resolveFoldRowSse2(config, use_bonus);
+#endif
+#if defined(SF_BATCH_HAVE_AVX2)
+    case SimdBackend::Avx2:
+        return detail::resolveFoldRowAvx2(config, use_bonus);
+#endif
+#if defined(SF_BATCH_HAVE_AVX512)
+    case SimdBackend::Avx512:
+        return detail::resolveFoldRowAvx512(config, use_bonus);
+#endif
+    default:
+        break;
+    }
+    return detail::resolveFoldRowScalar(config, use_bonus);
+}
+
+} // namespace
+
+const char *
+simdBackendName(SimdBackend backend)
+{
+    switch (backend) {
+    case SimdBackend::Scalar: return "scalar";
+    case SimdBackend::Sse2: return "sse2";
+    case SimdBackend::Avx2: return "avx2";
+    case SimdBackend::Avx512: return "avx512";
+    }
+    return "unknown";
+}
+
+bool
+simdBackendAvailable(SimdBackend backend)
+{
+    return backendCompiledIn(backend) && cpuSupports(backend);
+}
+
+std::size_t
+simdLaneWidth(SimdBackend backend)
+{
+    switch (backend) {
+    case SimdBackend::Scalar: return 1;
+    case SimdBackend::Sse2: return 4;
+    case SimdBackend::Avx2: return 8;
+    case SimdBackend::Avx512: return 16;
+    }
+    return 1;
+}
+
+SimdBackend
+detectSimdBackend()
+{
+    if (const char *env = std::getenv("SF_SDTW_SIMD")) {
+        const std::string want(env);
+        SimdBackend backend = SimdBackend::Scalar;
+        if (want == "scalar")
+            backend = SimdBackend::Scalar;
+        else if (want == "sse2")
+            backend = SimdBackend::Sse2;
+        else if (want == "avx2")
+            backend = SimdBackend::Avx2;
+        else if (want == "avx512")
+            backend = SimdBackend::Avx512;
+        else
+            fatal("SF_SDTW_SIMD=%s is not one of "
+                  "scalar|sse2|avx2|avx512",
+                  env);
+        if (!simdBackendAvailable(backend))
+            fatal("SF_SDTW_SIMD=%s requests a backend that is not "
+                  "available on this host",
+                  env);
+        return backend;
+    }
+    for (SimdBackend backend :
+         {SimdBackend::Avx512, SimdBackend::Avx2, SimdBackend::Sse2}) {
+        if (simdBackendAvailable(backend))
+            return backend;
+    }
+    return SimdBackend::Scalar;
+}
+
+BatchSdtw::BatchSdtw(SdtwConfig config, std::size_t lane_capacity,
+                     SimdBackend backend)
+    : engine_(config), backend_(backend)
+{
+    if (lane_capacity == 0)
+        fatal("BatchSdtw needs at least one lane of capacity");
+    if (!simdBackendAvailable(backend_)) {
+        fatal("sDTW SIMD backend '%s' is not available on this host",
+              simdBackendName(backend_));
+    }
+    width_ = simdLaneWidth(backend_);
+    capacity_ = (lane_capacity + width_ - 1) / width_ * width_;
+    serialCutover_ =
+        std::max(kDefaultSerialCutover, width_ * 3 / 4);
+    bonusUnit_ = Cost(std::llround(config.matchBonus));
+    fold_ = resolveFold(backend_, config, config.matchBonus > 0.0);
+}
+
+void
+BatchSdtw::setSerialCutover(std::size_t min_lanes)
+{
+    serialCutover_ = min_lanes;
+}
+
+void
+BatchSdtw::validate(std::span<BatchLane> lanes,
+                    std::span<const NormSample> reference) const
+{
+    if (reference.empty())
+        fatal("sDTW reference must be non-empty");
+    for (const BatchLane &lane : lanes) {
+        if (lane.state == nullptr)
+            fatal("BatchSdtw lane needs a checkpoint state");
+        if (!lane.state->empty() &&
+            lane.state->row.size() != reference.size()) {
+            fatal("sDTW state row length %zu does not match reference "
+                  "%zu",
+                  lane.state->row.size(), reference.size());
+        }
+        if (lane.state->empty() && lane.query.empty())
+            fatal("sDTW requires at least one query sample");
+    }
+}
+
+void
+BatchSdtw::processMany(std::span<BatchLane> lanes,
+                       std::span<const NormSample> reference)
+{
+    validate(lanes, reference);
+    if (lanes.size() < std::max<std::size_t>(serialCutover_, 1)) {
+        // Tiny batches: the serial engine (vectorised along the
+        // reference) wastes no lanes.  Results are identical.
+        for (BatchLane &lane : lanes)
+            lane.result =
+                engine_.process(lane.query, reference, *lane.state);
+        return;
+    }
+    runBatched(lanes, reference);
+}
+
+void
+BatchSdtw::runBatched(std::span<BatchLane> lanes,
+                      std::span<const NormSample> reference)
+{
+    const std::size_t m = reference.size();
+    const auto cap = std::uint8_t(config().dwellCap);
+    // Effective batch width: enough slots for the request, capped at
+    // capacity, rounded up to whole vector groups.
+    const std::size_t width =
+        (std::min(lanes.size(), capacity_) + width_ - 1) / width_ *
+        width_;
+    rows_.resize(width * m);
+    dwell_.resize(width * m);
+    qlane_.assign(width * 4, 0); // up to 4 strip rows per sweep
+
+    /** One in-flight slot of the interleaved layout. */
+    struct Slot
+    {
+        std::ptrdiff_t lane = -1; //!< index into @p lanes, -1 = empty
+        std::size_t cursor = 0;   //!< next query sample to fold
+        std::size_t rowsDone = 0; //!< total rows incl. resumed state
+    };
+    std::vector<Slot> slots(width);
+    std::size_t nextLane = 0;
+    std::size_t occupied = 0;
+
+    // Drain a finished slot back into its checkpoint state and
+    // summarise the final row, exactly as the serial engine does.
+    const auto retire = [&](std::size_t s) {
+        Slot &slot = slots[s];
+        BatchLane &lane = lanes[std::size_t(slot.lane)];
+        QuantSdtw::State &state = *lane.state;
+        state.row.resize(m);
+        state.dwell.resize(m);
+        for (std::size_t j = 0; j < m; ++j) {
+            state.row[j] = rows_[j * width + s];
+            state.dwell[j] = dwell_[j * width + s];
+        }
+        state.rowsDone = slot.rowsDone;
+
+        QuantSdtw::Result result;
+        result.rows = slot.rowsDone;
+        result.cost = state.row[0];
+        result.refEnd = 0;
+        for (std::size_t j = 1; j < m; ++j) {
+            if (state.row[j] < result.cost) {
+                result.cost = state.row[j];
+                result.refEnd = j;
+            }
+        }
+        lane.result = result;
+        slot.lane = -1;
+        qlane_[s] = 0;
+        --occupied;
+    };
+
+    // Scatter a lane's checkpoint (or a fresh free-start row) into
+    // slot @p s.  Returns false if the lane had nothing to fold and
+    // retired on the spot.
+    const auto load = [&](std::size_t s, std::size_t li) {
+        Slot &slot = slots[s];
+        BatchLane &lane = lanes[li];
+        QuantSdtw::State &state = *lane.state;
+        slot.lane = std::ptrdiff_t(li);
+        if (state.empty()) {
+            const NormSample q0 = lane.query[0];
+            for (std::size_t j = 0; j < m; ++j) {
+                rows_[j * width + s] = engine_.pointCost(q0, reference[j]);
+                dwell_[j * width + s] = 1;
+            }
+            slot.cursor = 1;
+            slot.rowsDone = 1;
+        } else {
+            for (std::size_t j = 0; j < m; ++j) {
+                rows_[j * width + s] = state.row[j];
+                dwell_[j * width + s] = state.dwell[j];
+            }
+            slot.cursor = 0;
+            slot.rowsDone = state.rowsDone;
+        }
+        ++occupied;
+        if (slot.cursor >= lane.query.size()) {
+            retire(s);
+            return false;
+        }
+        return true;
+    };
+
+    while (true) {
+        // Refill empty slots lowest-first: occupancy packs into the
+        // low vector groups, so drained high groups stop being folded.
+        for (std::size_t s = 0; s < width && nextLane < lanes.size();
+             ++s) {
+            if (slots[s].lane >= 0)
+                continue;
+            while (nextLane < lanes.size() && !load(s, nextLane++)) {
+            }
+        }
+        if (occupied == 0)
+            break;
+
+        std::size_t hi = 0;
+        std::size_t min_remaining = SIZE_MAX;
+        for (std::size_t s = 0; s < width; ++s) {
+            const Slot &slot = slots[s];
+            if (slot.lane < 0)
+                continue;
+            hi = s;
+            min_remaining = std::min(
+                min_remaining,
+                lanes[std::size_t(slot.lane)].query.size() -
+                    slot.cursor);
+        }
+        const std::size_t groups = hi / width_ + 1;
+        // Deepest strip every in-flight lane can take whole: all
+        // lanes advance in lock-step, so the strip depth is bounded
+        // by the lane closest to retiring.
+        std::size_t strip = 1;
+        detail::FoldRowFn fold = fold_.fold1;
+        if (min_remaining >= 4 && fold_.fold4 != nullptr) {
+            strip = 4;
+            fold = fold_.fold4;
+        } else if (min_remaining >= 2 && fold_.fold2 != nullptr) {
+            strip = 2;
+            fold = fold_.fold2;
+        }
+
+        for (std::size_t s = 0; s <= hi; ++s) {
+            const Slot &slot = slots[s];
+            if (slot.lane < 0)
+                continue;
+            const auto &query = lanes[std::size_t(slot.lane)].query;
+            for (std::size_t t = 0; t < strip; ++t)
+                qlane_[t * width + s] =
+                    std::int32_t(query[slot.cursor + t]);
+        }
+        fold(qlane_.data(), reference.data(), m, width, groups,
+             rows_.data(), dwell_.data(), bonusUnit_, cap);
+        for (std::size_t s = 0; s <= hi; ++s) {
+            Slot &slot = slots[s];
+            if (slot.lane < 0)
+                continue;
+            slot.cursor += strip;
+            slot.rowsDone += strip;
+            if (slot.cursor >=
+                lanes[std::size_t(slot.lane)].query.size())
+                retire(s);
+        }
+    }
+}
+
+} // namespace sf::sdtw

@@ -1,0 +1,157 @@
+#ifndef SF_SDTW_BATCH_HPP
+#define SF_SDTW_BATCH_HPP
+
+/**
+ * @file
+ * Lane-batched sDTW: align up to 32 independent reads per inner-loop
+ * iteration (paper §5.1's pore-parallel tiles, done with SIMD lanes).
+ *
+ * The serial engine (sdtw/engine.hpp) rolls one read's DP row at a
+ * time and leans on auto-vectorisation along the reference.  BatchSdtw
+ * instead fills vector lanes with *different reads*: B in-flight
+ * alignments share interleaved `[column][lane]` cost/dwell buffers,
+ * and one explicit-intrinsics row fold advances all of them by one
+ * query sample.  Because every lane is an independent alignment there
+ * are no cross-lane dependencies at all — the inner loop is branch-
+ * free and fully pipelined.
+ *
+ * Ragged batches are first-class: lanes have per-read query lengths,
+ * retire as soon as their samples are exhausted, and are refilled from
+ * the pending queue mid-flight, so occupancy stays high even when
+ * reads decide at different stages.  A lane is loaded from / drained
+ * back to a plain QuantSdtw::State, so checkpointed streams can enter
+ * and leave a batch between chunks — this is what lets the kernel
+ * slot underneath ClassifierStream and the streaming worker pool.
+ *
+ * The backend (AVX-512 / AVX2 / SSE2 / scalar) is picked by runtime
+ * CPU dispatch, so binaries built with SF_KERNEL_NATIVE=OFF still run
+ * everywhere; SF_SDTW_SIMD=scalar|sse2|avx2|avx512 forces a backend.
+ * All backends are bit-identical to the serial QuantSdtw engine for
+ * every configuration (tests/test_batch.cpp pins this).
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sdtw/batch_kernel.hpp"
+#include "sdtw/config.hpp"
+#include "sdtw/engine.hpp"
+
+namespace sf::sdtw {
+
+/** SIMD instruction set a BatchSdtw kernel executes with. */
+enum class SimdBackend {
+    Scalar, //!< portable reference (1 lane per op)
+    Sse2,   //!< 4 epi32 lanes per op, baseline x86-64
+    Avx2,   //!< 8 epi32 lanes per op
+    Avx512, //!< 16 epi32 lanes per op (F+BW+VL)
+};
+
+/** Human-readable backend name ("avx2", ...). */
+const char *simdBackendName(SimdBackend backend);
+
+/** Whether @p backend is compiled in AND supported by this CPU. */
+bool simdBackendAvailable(SimdBackend backend);
+
+/** Cost lanes one vector instruction of @p backend carries. */
+std::size_t simdLaneWidth(SimdBackend backend);
+
+/**
+ * Best available backend, honouring an SF_SDTW_SIMD environment
+ * override (fatal when the override names an unavailable backend).
+ */
+SimdBackend detectSimdBackend();
+
+/**
+ * One read's slot in a batched fold: the checkpointed DP state it
+ * resumes from (empty = fresh subsequence start, exactly like the
+ * serial engine) and the query samples to fold this round.  After
+ * processMany() the state holds the updated row/dwell checkpoint and
+ * `result` the same cost/refEnd/rows the serial engine would report.
+ */
+struct BatchLane
+{
+    QuantSdtw::State *state = nullptr;   //!< in/out checkpoint
+    std::span<const NormSample> query{}; //!< samples to fold
+    QuantSdtw::Result result{};          //!< out: post-fold summary
+};
+
+/**
+ * Lane-batched quantised sDTW kernel.
+ *
+ * Holds the interleaved DP scratch, so one instance should live per
+ * worker thread and be reused across calls (buffers are grown once
+ * and kept).  Not thread-safe; states passed to one call must be
+ * distinct objects.
+ */
+class BatchSdtw
+{
+  public:
+    /** Default in-flight lanes (2-4 vector groups per backend). */
+    static constexpr std::size_t kDefaultLaneCapacity = 32;
+
+    /**
+     * Floor of the serial-vs-batched crossover.  The effective
+     * default scales with the backend: a batch always folds whole
+     * vector groups, so b jobs on a W-lane backend pay for
+     * roundup(b, W) lanes of work — below roughly 3/4 of a group the
+     * wasted lanes cost more than the SIMD gain and the serial engine
+     * (itself vectorised along the reference) wins.  The constructor
+     * therefore sets the cutover to max(kDefaultSerialCutover,
+     * 3 * laneWidth() / 4); setSerialCutover() overrides.
+     */
+    static constexpr std::size_t kDefaultSerialCutover = 4;
+
+    explicit BatchSdtw(SdtwConfig config = hardwareConfig(),
+                       std::size_t lane_capacity = kDefaultLaneCapacity,
+                       SimdBackend backend = detectSimdBackend());
+
+    /**
+     * Fold every lane's query into its state against the shared
+     * @p reference, ragged lengths and all.  Equivalent to calling
+     * QuantSdtw::process(lane.query, reference, *lane.state) per lane
+     * — same costs, same refEnd, same checkpointed row/dwell, bit for
+     * bit — but up to laneCapacity() lanes advance per row fold, and
+     * retired lanes are refilled from the remaining ones.
+     */
+    void processMany(std::span<BatchLane> lanes,
+                     std::span<const NormSample> reference);
+
+    /**
+     * Serial-vs-batched crossover threshold; 0 or 1 forces every call
+     * through the batched path (used by tests and benches).
+     */
+    void setSerialCutover(std::size_t min_lanes);
+
+    const SdtwConfig &config() const { return engine_.config(); }
+    SimdBackend backend() const { return backend_; }
+    /** Lanes per vector instruction. */
+    std::size_t laneWidth() const { return width_; }
+    /** Maximum lanes in flight (rounded up to a laneWidth multiple). */
+    std::size_t laneCapacity() const { return capacity_; }
+
+  private:
+    void validate(std::span<BatchLane> lanes,
+                  std::span<const NormSample> reference) const;
+    void runBatched(std::span<BatchLane> lanes,
+                    std::span<const NormSample> reference);
+
+    QuantSdtw engine_; //!< validates config; serial fallback path
+    SimdBackend backend_;
+    std::size_t width_ = 1;
+    std::size_t capacity_ = kDefaultLaneCapacity;
+    std::size_t serialCutover_ = kDefaultSerialCutover;
+    Cost bonusUnit_ = 0;
+    detail::FoldRowFns fold_{};
+
+    // Interleaved `[column][lane]` scratch, grown on demand.
+    std::vector<Cost> rows_;
+    std::vector<std::uint8_t> dwell_;
+    std::vector<std::int32_t> qlane_;
+};
+
+} // namespace sf::sdtw
+
+#endif // SF_SDTW_BATCH_HPP

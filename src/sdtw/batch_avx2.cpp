@@ -1,0 +1,104 @@
+/**
+ * @file
+ * AVX2 backend of the lane-batched sDTW kernel: 8 reads per vector
+ * op.  This translation unit is compiled with -mavx2 (see
+ * CMakeLists.txt) and only ever executed after runtime CPU dispatch
+ * confirms AVX2 support, so the rest of the library stays portable.
+ */
+
+#include "sdtw/batch_kernel.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace sf::sdtw::detail {
+namespace {
+
+struct Avx2Ops
+{
+    static constexpr int kMaxStrip = 4;
+    static constexpr std::size_t W = 8;
+    using Vec = __m256i;
+    using Mask = __m256i;
+
+    static Vec broadcast(std::int32_t v) { return _mm256_set1_epi32(v); }
+    static Vec loadI32(const std::int32_t *p)
+    {
+        return _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(p));
+    }
+    static Vec loadU32(const Cost *p)
+    {
+        return _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(p));
+    }
+    static void storeU32(Cost *p, Vec v)
+    {
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
+    }
+    static Vec loadDwell(const std::uint8_t *p)
+    {
+        return _mm256_cvtepu8_epi32(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i *>(p)));
+    }
+    static void storeDwell(std::uint8_t *p, Vec v)
+    {
+        // Values are in [0, 255], so both packs are exact.  The packs
+        // operate per 128-bit half: the low 4 bytes of each half end
+        // up holding that half's four lanes.
+        const __m256i w16 = _mm256_packus_epi32(v, v);
+        const __m256i b8 = _mm256_packus_epi16(w16, w16);
+        const int lo = _mm_cvtsi128_si32(_mm256_castsi256_si128(b8));
+        const int hi =
+            _mm_cvtsi128_si32(_mm256_extracti128_si256(b8, 1));
+        std::memcpy(p, &lo, 4);
+        std::memcpy(p + 4, &hi, 4);
+    }
+    static Vec addI32(Vec a, Vec b) { return _mm256_add_epi32(a, b); }
+    static Vec subI32(Vec a, Vec b) { return _mm256_sub_epi32(a, b); }
+    static Vec mulI32(Vec a, Vec b) { return _mm256_mullo_epi32(a, b); }
+    static Vec absI32(Vec v) { return _mm256_abs_epi32(v); }
+    static Mask gtU32(Vec a, Vec b)
+    {
+        const __m256i bias = _mm256_set1_epi32(int(0x80000000u));
+        return _mm256_cmpgt_epi32(_mm256_xor_si256(a, bias),
+                                  _mm256_xor_si256(b, bias));
+    }
+    static Mask ltU32(Vec a, Vec b) { return gtU32(b, a); }
+    static Mask leU32(Vec a, Vec b)
+    {
+        return _mm256_cmpeq_epi32(_mm256_min_epu32(a, b), a);
+    }
+    static Vec select(Mask m, Vec t, Vec f)
+    {
+        return _mm256_blendv_epi8(f, t, m);
+    }
+    static Vec minI32(Vec a, Vec b) { return _mm256_min_epi32(a, b); }
+    static Vec minU32(Vec a, Vec b) { return _mm256_min_epu32(a, b); }
+    static Vec maxU32(Vec a, Vec b) { return _mm256_max_epu32(a, b); }
+    static Vec shlI32(Vec v, int count)
+    {
+        return _mm256_sll_epi32(v, _mm_cvtsi32_si128(count));
+    }
+    /** kgt ? min(dw + 1, cap) : 1 (the post-fold dwell update). */
+    static Vec dwellBump(Vec dw, Vec one, Vec capv, Vec, Mask kgt)
+    {
+        return select(kgt, _mm256_min_epi32(addI32(dw, one), capv),
+                      one);
+    }
+};
+
+} // namespace
+
+FoldRowFns
+resolveFoldRowAvx2(const SdtwConfig &config, bool use_bonus)
+{
+    return resolveFoldRow<Avx2Ops>(config, use_bonus);
+}
+
+} // namespace sf::sdtw::detail
+
+#endif // __AVX2__

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * AVX-512 backend of the lane-batched sDTW kernel: 16 reads per
+ * vector op, with mask registers making every select a single
+ * masked-blend.  Compiled with -mavx512f/bw/vl (see CMakeLists.txt)
+ * and executed only after runtime CPU dispatch confirms support.
+ */
+
+#include "sdtw/batch_kernel.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+namespace sf::sdtw::detail {
+namespace {
+
+struct Avx512Ops
+{
+    static constexpr int kMaxStrip = 4;
+    static constexpr std::size_t W = 16;
+    using Vec = __m512i;
+    using Mask = __mmask16;
+
+    static Vec broadcast(std::int32_t v) { return _mm512_set1_epi32(v); }
+    static Vec loadI32(const std::int32_t *p)
+    {
+        return _mm512_loadu_si512(p);
+    }
+    static Vec loadU32(const Cost *p) { return _mm512_loadu_si512(p); }
+    static void storeU32(Cost *p, Vec v) { _mm512_storeu_si512(p, v); }
+    static Vec loadDwell(const std::uint8_t *p)
+    {
+        return _mm512_cvtepu8_epi32(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(p)));
+    }
+    static void storeDwell(std::uint8_t *p, Vec v)
+    {
+        // vpmovdb truncates each epi32 lane to a byte; dwell values
+        // are in [0, 255], so the truncation is exact.  (The store
+        // form avoids GCC's _mm_undefined_si128-based register form,
+        // which trips -Wmaybe-uninitialized.)
+        _mm512_mask_cvtepi32_storeu_epi8(p, __mmask16(0xffff), v);
+    }
+    static Vec addI32(Vec a, Vec b) { return _mm512_add_epi32(a, b); }
+    static Vec subI32(Vec a, Vec b) { return _mm512_sub_epi32(a, b); }
+    static Vec mulI32(Vec a, Vec b) { return _mm512_mullo_epi32(a, b); }
+    static Vec absI32(Vec v) { return _mm512_abs_epi32(v); }
+    static Mask leU32(Vec a, Vec b)
+    {
+        return _mm512_cmple_epu32_mask(a, b);
+    }
+    static Mask ltU32(Vec a, Vec b)
+    {
+        return _mm512_cmplt_epu32_mask(a, b);
+    }
+    static Mask gtU32(Vec a, Vec b)
+    {
+        return _mm512_cmpgt_epu32_mask(a, b);
+    }
+    static Vec select(Mask m, Vec t, Vec f)
+    {
+        return _mm512_mask_blend_epi32(m, f, t);
+    }
+    static Vec minI32(Vec a, Vec b) { return _mm512_min_epi32(a, b); }
+    static Vec minU32(Vec a, Vec b) { return _mm512_min_epu32(a, b); }
+    static Vec maxU32(Vec a, Vec b) { return _mm512_max_epu32(a, b); }
+    static Vec shlI32(Vec v, int count)
+    {
+        return _mm512_sll_epi32(v, _mm_cvtsi32_si128(count));
+    }
+    /**
+     * kgt ? min(dw + 1, cap) : 1, fused into one masked add:
+     * min(dw + 1, cap) == min(dw, cap - 1) + 1 for pre-capped dwell.
+     */
+    static Vec dwellBump(Vec dw, Vec one, Vec, Vec capm1, Mask kgt)
+    {
+        return _mm512_mask_add_epi32(one, kgt,
+                                     _mm512_min_epi32(dw, capm1), one);
+    }
+};
+
+} // namespace
+
+FoldRowFns
+resolveFoldRowAvx512(const SdtwConfig &config, bool use_bonus)
+{
+    return resolveFoldRow<Avx512Ops>(config, use_bonus);
+}
+
+} // namespace sf::sdtw::detail
+
+#endif // AVX-512 F+BW+VL

@@ -1,0 +1,304 @@
+#ifndef SF_SDTW_BATCH_KERNEL_HPP
+#define SF_SDTW_BATCH_KERNEL_HPP
+
+/**
+ * @file
+ * Internal lane-batched sDTW row kernel, shared by every SIMD backend.
+ *
+ * The batched engine lays B independent reads out struct-of-arrays:
+ * DP row and dwell buffers are interleaved `[column][lane]`, so one
+ * vector register holds the same reference column of W different
+ * reads.  foldRowBatch() advances every lane by one query sample per
+ * call — the inter-sequence parallelisation of the classic SIMD
+ * Smith-Waterman trick, applied to the paper's sDTW recurrence.
+ *
+ * Each backend translation unit (scalar in batch.cpp, batch_sse2.cpp,
+ * batch_avx2.cpp, batch_avx512.cpp) instantiates the template below
+ * with its own `Ops` vector-trait struct and exports a resolver that
+ * maps an SdtwConfig onto the right specialisation.  The recurrence is
+ * kept expression-for-expression identical to SdtwEngine::foldRow in
+ * engine.cpp: batched costs are bit-exact against the serial engine
+ * for every configuration (enforced by tests/test_batch.cpp).
+ *
+ * An `Ops` struct provides, over vectors of W unsigned 32-bit lanes:
+ *   W, Vec, Mask,
+ *   broadcast(i32), loadI32, loadU32/storeU32, loadDwell/storeDwell
+ *   (u8 memory <-> u32 lanes), addI32, subI32, mulI32 (low 32 bits),
+ *   shlI32 (runtime count), absI32, minI32, minU32, maxU32,
+ *   leU32/ltU32/gtU32 (unsigned compares producing a Mask),
+ *   select(mask, if_true, if_false), and dwellBump (the fused
+ *   `kgt ? min(dw + 1, cap) : 1` update — AVX-512 folds it into one
+ *   masked add).
+ */
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/types.hpp"
+#include "sdtw/config.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SF_BATCH_RESTRICT __restrict__
+#else
+#define SF_BATCH_RESTRICT
+#endif
+
+namespace sf::sdtw::detail {
+
+/**
+ * Fold N query samples per lane (a row strip) into the interleaved
+ * DP state.  Strip-mining is the key throughput lever: one sweep
+ * through the row/dwell buffers folds N DP rows, so the per-column
+ * loads, stores, dwell packing and reference broadcast are amortised
+ * N ways and the kernel stays vector-ALU-bound instead of splitting
+ * its port budget with bookkeeping.
+ *
+ * @param q       widened per-lane query samples, `[row t][lane]` as
+ *                `q[t * stride + lane]`, N rows
+ * @param ref     shared reference squiggle, length @p m
+ * @param stride  lane count B of the interleaved layout (multiple of
+ *                Ops::W)
+ * @param groups  vector groups to actually process (occupancy
+ *                optimisation; groups * Ops::W <= stride)
+ * @param rows    interleaved cost rows `[j * stride + lane]`, updated
+ *                in place
+ * @param dwell   interleaved capped dwell counters, same layout
+ */
+using FoldRowFn = void (*)(const std::int32_t *q, const NormSample *ref,
+                           std::size_t m, std::size_t stride,
+                           std::size_t groups, Cost *rows,
+                           std::uint8_t *dwell, Cost bonus_unit,
+                           std::uint8_t cap);
+
+/** Strip variants a backend offers; the driver picks the deepest one
+ * every in-flight lane has enough remaining samples for. */
+struct FoldRowFns
+{
+    FoldRowFn fold1 = nullptr; //!< 1 row per sweep
+    FoldRowFn fold2 = nullptr; //!< 2 rows per sweep
+    FoldRowFn fold4 = nullptr; //!< 4 rows per sweep
+};
+
+/** Pointwise cost with the metric resolved at compile time. */
+template <class Ops, bool Squared>
+inline typename Ops::Vec
+cellCostV(typename Ops::Vec q, typename Ops::Vec r)
+{
+    const auto ad = Ops::absI32(Ops::subI32(q, r));
+    if constexpr (Squared)
+        return Ops::mulI32(ad, ad);
+    else
+        return ad;
+}
+
+/** Saturating unsigned add: sum, or all-ones when it wrapped. */
+template <class Ops>
+inline typename Ops::Vec
+satAddV(typename Ops::Vec a, typename Ops::Vec b)
+{
+    const auto sum = Ops::addI32(a, b);
+    return Ops::select(Ops::ltU32(sum, a), Ops::broadcast(-1), sum);
+}
+
+/** Saturating unsigned subtract clamping at zero. */
+template <class Ops>
+inline typename Ops::Vec
+satSubV(typename Ops::Vec a, typename Ops::Vec b)
+{
+    return Ops::subI32(Ops::maxU32(a, b), b);
+}
+
+/** How the match bonus enters the recurrence. */
+enum class BonusMode {
+    Off,   //!< matchBonus == 0: no reward term at all
+    Mul,   //!< reward = bonus_unit * dwell (general case)
+    Shift, //!< bonus_unit is a power of two: reward = dwell << log2
+};
+
+/**
+ * One batched strip update: fold rows i .. i+N-1 of every lane in a
+ * single in-place sweep over the interleaved buffers.
+ *
+ * The recurrence mirrors SdtwEngine::foldRow exactly (see engine.cpp
+ * for its derivation); batched costs are bit-exact.  Per column, row
+ * t consumes the carried register state of row t-1: `in[t]` is
+ * S[i-1+t][j] (t = 0 comes from memory, t > 0 is the fold output of
+ * the row above), `inPrev[t]`/`dwPrev[t]` are the same quantities one
+ * column back, and for RefDel `outPrev[t]` is S[i+t][j-1].  Only the
+ * last row of the strip touches memory on the way out, so the
+ * per-column load/store/pack/broadcast overhead is amortised over N
+ * folded rows and the sweep stays vector-ALU-bound.
+ */
+template <class Ops, bool Squared, bool RefDel, BonusMode Bonus, int N>
+void
+foldRowBatch(const std::int32_t *SF_BATCH_RESTRICT q,
+             const NormSample *SF_BATCH_RESTRICT ref, std::size_t m,
+             std::size_t stride, std::size_t groups,
+             Cost *SF_BATCH_RESTRICT rows,
+             std::uint8_t *SF_BATCH_RESTRICT dwell, Cost bonus_unit,
+             std::uint8_t cap)
+{
+    using Vec = typename Ops::Vec;
+    constexpr bool UseBonus = Bonus != BonusMode::Off;
+    const Vec capv = Ops::broadcast(std::int32_t(cap));
+    const Vec capm1v = Ops::broadcast(std::int32_t(cap) - 1);
+    const Vec onev = Ops::broadcast(1);
+    const Vec bonusv = Ops::broadcast(std::int32_t(bonus_unit));
+    [[maybe_unused]] int bonus_shift = 0;
+    if constexpr (Bonus == BonusMode::Shift) {
+        while ((Cost(1) << bonus_shift) < bonus_unit)
+            ++bonus_shift;
+    }
+
+    for (std::size_t g = 0; g < groups; ++g) {
+        const std::size_t base = g * Ops::W;
+        // Plain arrays, not std::array: vector types carry alignment
+        // attributes that template arguments drop (-Wignored-attributes).
+        Vec qv[std::size_t(N)];
+        for (int t = 0; t < N; ++t)
+            qv[std::size_t(t)] =
+                Ops::loadI32(q + std::size_t(t) * stride + base);
+        Cost *SF_BATCH_RESTRICT r = rows + base;
+        std::uint8_t *SF_BATCH_RESTRICT d = dwell + base;
+
+        // Carried per-row register state, one column behind.
+        Vec inPrev[std::size_t(N)], dwPrev[std::size_t(N)],
+            outPrev[std::size_t(N)];
+
+        // First column: only the vertical predecessor exists.
+        {
+            const Vec refv = Ops::broadcast(std::int32_t(ref[0]));
+            Vec in = Ops::loadU32(r);
+            Vec dw = Ops::loadDwell(d);
+            for (int t = 0; t < N; ++t) {
+                const auto ts = std::size_t(t);
+                inPrev[ts] = in;
+                dwPrev[ts] = dw;
+                const Vec out = satAddV<Ops>(
+                    in, cellCostV<Ops, Squared>(qv[ts], refv));
+                const Vec ndw =
+                    Ops::minI32(Ops::addI32(dw, onev), capv);
+                if constexpr (RefDel)
+                    outPrev[ts] = out;
+                in = out;
+                dw = ndw;
+            }
+            Ops::storeU32(r, in);
+            Ops::storeDwell(d, dw);
+        }
+
+        for (std::size_t j = 1; j < m; ++j) {
+            Cost *SF_BATCH_RESTRICT rj = r + j * stride;
+            std::uint8_t *SF_BATCH_RESTRICT dj = d + j * stride;
+            const Vec refv = Ops::broadcast(std::int32_t(ref[j]));
+            Vec in = Ops::loadU32(rj);
+            Vec dw = Ops::loadDwell(dj);
+            for (int t = 0; t < N; ++t) {
+                const auto ts = std::size_t(t);
+                Vec diag = inPrev[ts];
+                if constexpr (UseBonus) {
+                    Vec dwb = dwPrev[ts];
+                    if constexpr (RefDel) // serial path re-caps here
+                        dwb = Ops::minI32(dwb, capv);
+                    const Vec reward =
+                        Bonus == BonusMode::Shift
+                            ? Ops::shlI32(dwb, bonus_shift)
+                            : Ops::mulI32(bonusv, dwb);
+                    diag = satSubV<Ops>(diag, reward);
+                }
+                // kgt = !take_diag; dwellBump computes the serial
+                // engine's `take_diag ? 1 : min(dw + 1, cap)` (dwell
+                // is stored pre-capped, so the min form is exact).
+                const auto kgt = Ops::gtU32(diag, in);
+                Vec best = Ops::minU32(diag, in);
+                Vec ndw = Ops::dwellBump(dw, onev, capv, capm1v, kgt);
+                if constexpr (RefDel) {
+                    const auto lt = Ops::ltU32(outPrev[ts], best);
+                    best = Ops::minU32(best, outPrev[ts]);
+                    ndw = Ops::select(lt, onev, ndw);
+                }
+                const Vec out = satAddV<Ops>(
+                    best, cellCostV<Ops, Squared>(qv[ts], refv));
+                inPrev[ts] = in;
+                dwPrev[ts] = dw;
+                if constexpr (RefDel)
+                    outPrev[ts] = out;
+                in = out;
+                dw = ndw;
+            }
+            Ops::storeU32(rj, in);
+            Ops::storeDwell(dj, dw);
+        }
+    }
+}
+
+/** Map runtime config switches to the right template instantiations. */
+template <class Ops>
+FoldRowFns
+resolveFoldRow(const SdtwConfig &config, bool use_bonus)
+{
+    const bool sq = config.metric == CostMetric::SquaredDifference;
+    const bool rd = config.allowReferenceDeletion;
+    const auto bonus_unit = static_cast<Cost>(config.matchBonus + 0.5);
+    const bool pow2 = use_bonus && bonus_unit != 0 &&
+                      (bonus_unit & (bonus_unit - 1)) == 0;
+    const BonusMode mode = !use_bonus ? BonusMode::Off
+                           : pow2     ? BonusMode::Shift
+                                      : BonusMode::Mul;
+
+    const auto pick = [](auto squared, auto refdel, auto bonus) {
+        constexpr bool S = decltype(squared)::value;
+        constexpr bool R = decltype(refdel)::value;
+        constexpr BonusMode B = decltype(bonus)::value;
+        // Strip depth is capped per backend: deeper strips carry more
+        // per-row register state, and past the architectural register
+        // budget the spills cost more than the amortisation saves.
+        FoldRowFns fns;
+        fns.fold1 = &foldRowBatch<Ops, S, R, B, 1>;
+        if constexpr (Ops::kMaxStrip >= 2)
+            fns.fold2 = &foldRowBatch<Ops, S, R, B, 2>;
+        if constexpr (Ops::kMaxStrip >= 4)
+            fns.fold4 = &foldRowBatch<Ops, S, R, B, 4>;
+        return fns;
+    };
+    const auto with_bonus = [&](auto squared, auto refdel) {
+        switch (mode) {
+        case BonusMode::Off:
+            return pick(squared, refdel,
+                        std::integral_constant<BonusMode,
+                                               BonusMode::Off>{});
+        case BonusMode::Mul:
+            return pick(squared, refdel,
+                        std::integral_constant<BonusMode,
+                                               BonusMode::Mul>{});
+        default:
+            return pick(squared, refdel,
+                        std::integral_constant<BonusMode,
+                                               BonusMode::Shift>{});
+        }
+    };
+    const auto with_refdel = [&](auto squared) {
+        return rd ? with_bonus(squared, std::true_type{})
+                  : with_bonus(squared, std::false_type{});
+    };
+    return sq ? with_refdel(std::true_type{})
+              : with_refdel(std::false_type{});
+}
+
+// Per-backend resolvers, defined in their own translation units so
+// each can be compiled with exactly the ISA flags it needs and picked
+// at runtime by CPU dispatch (see batch.cpp).
+FoldRowFns resolveFoldRowScalar(const SdtwConfig &config, bool use_bonus);
+#if defined(__SSE2__)
+FoldRowFns resolveFoldRowSse2(const SdtwConfig &config, bool use_bonus);
+#endif
+#if defined(SF_BATCH_HAVE_AVX2)
+FoldRowFns resolveFoldRowAvx2(const SdtwConfig &config, bool use_bonus);
+#endif
+#if defined(SF_BATCH_HAVE_AVX512)
+FoldRowFns resolveFoldRowAvx512(const SdtwConfig &config, bool use_bonus);
+#endif
+
+} // namespace sf::sdtw::detail
+
+#endif // SF_SDTW_BATCH_KERNEL_HPP

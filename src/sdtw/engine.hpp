@@ -85,9 +85,10 @@ class SdtwEngine
     /** The configuration in effect. */
     const SdtwConfig &config() const { return config_; }
 
-  private:
+    /** Pointwise cost of one (query, reference) sample pair. */
     CostT pointCost(Sample q, Sample r) const;
 
+  private:
     SdtwConfig config_;
     CostT bonusUnit_{}; //!< matchBonus converted to CostT
 };

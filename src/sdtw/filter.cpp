@@ -1,9 +1,11 @@
 #include "sdtw/filter.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
+#include "sdtw/batch.hpp"
 
 namespace sf::sdtw {
 
@@ -174,17 +176,209 @@ SquiggleFilterClassifier::finishStream(ClassifierStream &stream) const
     return stream.result;
 }
 
+void
+SquiggleFilterClassifier::feedChunkBatch(std::span<StreamFeed> feeds,
+                                         BatchSdtw &kernel) const
+{
+    const SdtwConfig &kcfg = kernel.config();
+    const SdtwConfig &cfg = engine_.config();
+    if (kcfg.metric != cfg.metric ||
+        kcfg.allowReferenceDeletion != cfg.allowReferenceDeletion ||
+        kcfg.matchBonus != cfg.matchBonus ||
+        kcfg.dwellCap != cfg.dwellCap) {
+        fatal("feedChunkBatch kernel config (%s) does not match the "
+              "classifier (%s)",
+              kcfg.describe().c_str(), cfg.describe().c_str());
+    }
+
+    /** Per-feed progress through this call. */
+    struct FeedCursor
+    {
+        std::size_t used = 0;  //!< chunk samples consumed so far
+        bool tailDone = false; //!< no further stage boundary reachable
+        bool finished = false; //!< nothing left to do this call
+        std::vector<NormSample> norm; //!< this round's slice
+    };
+    /** Stage evaluation owed to a feed once its round's fold lands. */
+    struct PendingEval
+    {
+        std::size_t feed = 0;
+        std::size_t lane = 0;
+        std::size_t sliceLen = 0;
+        bool truncated = false;
+        bool clearPending = false;
+    };
+
+    std::vector<FeedCursor> cursors(feeds.size());
+    std::vector<BatchLane> lanes;
+    std::vector<PendingEval> evals;
+
+    // Round loop: every round gathers at most one stage-boundary
+    // slice per undecided stream, normalises it with that stream's
+    // cumulative statistics (same slice sequence as the serial
+    // feedChunk, so identical statistics), folds all slices as one
+    // lane batch, then applies the stage decisions.  Streams whose
+    // chunk crosses several boundaries simply take several rounds.
+    while (true) {
+        lanes.clear();
+        evals.clear();
+        for (std::size_t i = 0; i < feeds.size(); ++i) {
+            FeedCursor &cur = cursors[i];
+            if (cur.finished)
+                continue;
+            StreamFeed &feed = feeds[i];
+            if (feed.stream == nullptr)
+                fatal("feedChunkBatch feed needs a stream");
+            ClassifierStream &st = *feed.stream;
+            if (st.decided) { // mirrors feedChunk()'s early return
+                cur.finished = true;
+                continue;
+            }
+
+            if (!cur.tailDone) {
+                if (st.stageIdx < stages_.size()) {
+                    const std::size_t prefix =
+                        stages_[st.stageIdx].prefixSamples;
+                    const std::size_t have =
+                        st.samplesSeen() + (feed.chunk.size() - cur.used);
+                    if (have >= prefix) {
+                        // Same slice assembly as feedChunk(): straight
+                        // from the chunk, or pending topped up to the
+                        // boundary.
+                        const std::size_t need = prefix - st.consumed;
+                        std::span<const RawSample> slice;
+                        bool clear_pending = false;
+                        if (st.pending.empty()) {
+                            slice = feed.chunk.subspan(cur.used, need);
+                            cur.used += need;
+                        } else {
+                            const std::size_t from_chunk =
+                                need - st.pending.size();
+                            st.pending.insert(
+                                st.pending.end(),
+                                feed.chunk.begin() +
+                                    std::ptrdiff_t(cur.used),
+                                feed.chunk.begin() +
+                                    std::ptrdiff_t(cur.used + from_chunk));
+                            cur.used += from_chunk;
+                            slice =
+                                std::span<const RawSample>(st.pending);
+                            clear_pending = true;
+                        }
+                        cur.norm = st.normalizer.normalizeChunk(slice)
+                                       .samples;
+                        evals.push_back(PendingEval{
+                            i, lanes.size(), slice.size(),
+                            /*truncated=*/false, clear_pending});
+                        lanes.push_back(
+                            BatchLane{&st.dp, cur.norm, {}});
+                        continue; // one slice per stream per round
+                    }
+                }
+                // No boundary reachable any more: bank the remainder,
+                // exactly like feedChunk()'s trailing pending insert.
+                st.pending.insert(st.pending.end(),
+                                  feed.chunk.begin() +
+                                      std::ptrdiff_t(cur.used),
+                                  feed.chunk.end());
+                cur.used = feed.chunk.size();
+                cur.tailDone = true;
+            }
+
+            if (!feed.endOfRead) {
+                cur.finished = true;
+                continue;
+            }
+            // finishStream() semantics for the truncated tail.
+            if (st.samplesSeen() == 0) {
+                st.result.keep = true;
+                st.decided = true;
+                cur.finished = true;
+                continue;
+            }
+            if (st.pending.empty()) {
+                // Empty tail: no DP fold, straight to the scaled-
+                // threshold decision (foldSlice() no-ops on empty).
+                evaluateStage(st, /*truncated=*/true);
+                st.decided = true;
+                cur.finished = true;
+                continue;
+            }
+            cur.norm = st.normalizer
+                           .normalizeChunk(std::span<const RawSample>(
+                               st.pending))
+                           .samples;
+            evals.push_back(PendingEval{i, lanes.size(),
+                                        st.pending.size(),
+                                        /*truncated=*/true,
+                                        /*clearPending=*/true});
+            lanes.push_back(BatchLane{&st.dp, cur.norm, {}});
+        }
+        if (lanes.empty())
+            break;
+
+        kernel.processMany(
+            lanes, std::span<const NormSample>(reference_.samples()));
+
+        for (const PendingEval &e : evals) {
+            ClassifierStream &st = *feeds[e.feed].stream;
+            const QuantSdtw::Result &folded = lanes[e.lane].result;
+            st.result.cost = folded.cost;
+            st.result.refEnd = folded.refEnd;
+            st.consumed += e.sliceLen;
+            st.rowsFolded += e.sliceLen;
+            if (e.clearPending)
+                st.pending.clear();
+            evaluateStage(st, e.truncated);
+            if (e.truncated) {
+                st.decided = true; // truncated stages always decide
+                cursors[e.feed].finished = true;
+            }
+        }
+    }
+}
+
 std::vector<Classification>
 SquiggleFilterClassifier::processBatch(
     std::span<const signal::ReadRecord> reads,
     unsigned max_threads) const
 {
     std::vector<Classification> results(reads.size());
-    // classify() keeps all mutable state (normalizer, DP rows) on the
-    // worker's stack, so reads can fan out without synchronisation.
+    // Two levels of parallelism: worker threads over blocks of reads,
+    // and SIMD lanes over the reads inside each block.  Each block
+    // drives its reads through the batched streaming path (one giant
+    // chunk per read), which classify() is also built on, so results
+    // are bit-identical to the serial per-read loop.  The block size
+    // is capped so every worker thread gets work even for small
+    // batches — thread fan-out beats SIMD occupancy when the two
+    // compete (the kernel falls back to its serial path for tiny
+    // blocks anyway).
+    const unsigned workers =
+        max_threads != 0 ? max_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+    const std::size_t block = std::min<std::size_t>(
+        BatchSdtw::kDefaultLaneCapacity * 2,
+        std::max<std::size_t>(1, (reads.size() + workers - 1) / workers));
+    const std::size_t blocks = (reads.size() + block - 1) / block;
     parallelFor(
-        reads.size(),
-        [&](std::size_t i) { results[i] = classify(reads[i].raw); },
+        blocks,
+        [&](std::size_t b) {
+            BatchSdtw kernel(engine_.config());
+            const std::size_t begin = b * block;
+            const std::size_t end =
+                std::min(begin + block, reads.size());
+            std::vector<ClassifierStream> streams(end - begin);
+            std::vector<StreamFeed> feeds;
+            feeds.reserve(end - begin);
+            for (std::size_t i = begin; i < end; ++i) {
+                streams[i - begin] = beginStream();
+                feeds.push_back(StreamFeed{&streams[i - begin],
+                                           reads[i].raw, true});
+            }
+            feedChunkBatch(feeds, kernel);
+            for (std::size_t i = begin; i < end; ++i)
+                results[i] = streams[i - begin].result;
+        },
         max_threads);
     return results;
 }

@@ -26,6 +26,8 @@
 
 namespace sf::sdtw {
 
+class BatchSdtw;
+
 /** One filtering stage: examine a prefix, compare against a threshold. */
 struct FilterStage
 {
@@ -73,6 +75,17 @@ struct ClassifierStream
 
     /** Raw samples seen so far (folded + pending). */
     std::size_t samplesSeen() const { return consumed + pending.size(); }
+};
+
+/**
+ * One stream's work item for a lane-batched dispatch: the chunk that
+ * just arrived for it, and whether the read ended with this chunk.
+ */
+struct StreamFeed
+{
+    ClassifierStream *stream = nullptr;
+    std::span<const RawSample> chunk{};
+    bool endOfRead = false;
 };
 
 /** Squiggle-space Read Until classifier. */
@@ -130,11 +143,27 @@ class SquiggleFilterClassifier
     const Classification &finishStream(ClassifierStream &stream) const;
 
     /**
+     * Feed one chunk into many independent streams at once, gathering
+     * the DP folds of all of them into SIMD lane batches on
+     * @p kernel (whose config must equal this classifier's).  Exactly
+     * equivalent to feedChunk()+optional finishStream() per feed —
+     * same costs, decisions, stage counts and checkpoint states, bit
+     * for bit — but every stage-boundary fold advances up to
+     * kernel.laneCapacity() reads per DP row.  Streams must be
+     * distinct objects; decided streams are skipped like feedChunk()
+     * does.
+     */
+    void feedChunkBatch(std::span<StreamFeed> feeds,
+                        BatchSdtw &kernel) const;
+
+    /**
      * Classify every read in @p reads, fanning the independent
      * alignments across up to @p max_threads worker threads
-     * (0 = hardware concurrency).  Models the pore-parallel
-     * accelerator tiles of §5.1: results are identical to calling
-     * classify() per read, in read order.
+     * (0 = hardware concurrency) and lane-batching the sDTW folds
+     * within each worker (SIMD inter-read parallelism on top of
+     * thread parallelism).  Models the pore-parallel accelerator
+     * tiles of §5.1: results are identical to calling classify() per
+     * read, in read order.
      */
     std::vector<Classification>
     processBatch(std::span<const signal::ReadRecord> reads,

@@ -9,6 +9,7 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "sdtw/batch.hpp"
 #include "signal/chunk_source.hpp"
 #include "stream/chunk_queue.hpp"
 
@@ -126,23 +127,57 @@ ReadUntilSession::run(std::span<const signal::ReadRecord> reads) const
     workers.reserve(config_.workers);
     for (unsigned w = 0; w < config_.workers; ++w) {
         workers.emplace_back([&]() {
+            // Each worker owns a lane-batch kernel sized to its
+            // dispatch pull, so one pull's cross-channel requests
+            // fold as one SIMD batch.  The serial path below is kept
+            // for A/B measurement; decisions are bit-identical.
+            sdtw::BatchSdtw kernel(
+                classifier_.config(),
+                std::max<std::size_t>(config_.dispatchBatch,
+                                      sdtw::BatchSdtw::
+                                          kDefaultSerialCutover));
             std::vector<DecisionRequest> batch;
+            std::vector<sdtw::StreamFeed> feeds;
             while (queue.popBatch(batch, config_.dispatchBatch)) {
-                for (DecisionRequest &req : batch) {
-                    Channel &ch = channels[std::size_t(req.channel)];
-                    classifier_.feedChunk(ch.stream, req.samples);
-                    if (req.endOfRead)
-                        classifier_.finishStream(ch.stream);
-                    const double us =
-                        std::chrono::duration<double, std::micro>(
-                            Clock::now() - req.enqueued)
-                            .count();
+                if (config_.laneBatching) {
+                    feeds.clear();
+                    for (const DecisionRequest &req : batch) {
+                        feeds.push_back(sdtw::StreamFeed{
+                            &channels[std::size_t(req.channel)].stream,
+                            req.samples, req.endOfRead});
+                    }
+                    classifier_.feedChunkBatch(feeds, kernel);
+                    const auto done = Clock::now();
                     {
                         std::lock_guard lock(completion_mutex);
-                        ready[std::size_t(req.channel)] = 1;
-                        latencies_us.push_back(us);
+                        for (const DecisionRequest &req : batch) {
+                            ready[std::size_t(req.channel)] = 1;
+                            latencies_us.push_back(
+                                std::chrono::duration<double,
+                                                      std::micro>(
+                                    done - req.enqueued)
+                                    .count());
+                        }
                     }
                     completion_cv.notify_all();
+                } else {
+                    for (DecisionRequest &req : batch) {
+                        Channel &ch =
+                            channels[std::size_t(req.channel)];
+                        classifier_.feedChunk(ch.stream, req.samples);
+                        if (req.endOfRead)
+                            classifier_.finishStream(ch.stream);
+                        const double us =
+                            std::chrono::duration<double, std::micro>(
+                                Clock::now() - req.enqueued)
+                                .count();
+                        {
+                            std::lock_guard lock(completion_mutex);
+                            ready[std::size_t(req.channel)] = 1;
+                            latencies_us.push_back(us);
+                        }
+                        completion_cv.notify_all();
+                    }
                 }
                 {
                     std::lock_guard lock(completion_mutex);

@@ -51,6 +51,13 @@ struct SessionConfig
     unsigned workers = 2;               //!< real classifier threads
     std::size_t queueCapacity = 256;    //!< bounded MPMC request queue
     std::size_t dispatchBatch = 16;     //!< max requests per worker pull
+    /**
+     * Fold the cross-channel requests of each worker dispatch as one
+     * SIMD lane batch (sdtw::BatchSdtw) instead of looping the serial
+     * engine.  Decisions and the log are bit-identical either way;
+     * only wall-clock throughput changes.
+     */
+    bool laneBatching = true;
     std::uint64_t seed = 0x5f5f;        //!< master seed (capture delays)
     double maxVirtualHours = 24.0;      //!< safety stop
 

@@ -1,0 +1,610 @@
+/**
+ * @file
+ * Tests for the lane-batched SIMD sDTW kernel: every backend must be
+ * bit-identical to the serial QuantSdtw engine for every recurrence
+ * configuration, across ragged batches, lane refills, and
+ * checkpointed enter/leave-the-batch streaming — plus the batched
+ * classifier paths (feedChunkBatch, processBatch) that ride on it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "genome/synthetic.hpp"
+#include "pore/kmer_model.hpp"
+#include "pore/reference_squiggle.hpp"
+#include "sdtw/batch.hpp"
+#include "sdtw/filter.hpp"
+#include "signal/dataset.hpp"
+
+namespace sf::sdtw {
+namespace {
+
+std::vector<NormSample>
+randomQuantSignal(std::size_t n, Rng &rng)
+{
+    std::vector<NormSample> out(n);
+    for (auto &s : out)
+        s = NormSample(rng.uniformInt(-128, 127));
+    return out;
+}
+
+std::vector<SimdBackend>
+availableBackends()
+{
+    std::vector<SimdBackend> out;
+    for (SimdBackend backend :
+         {SimdBackend::Scalar, SimdBackend::Sse2, SimdBackend::Avx2,
+          SimdBackend::Avx512}) {
+        if (simdBackendAvailable(backend))
+            out.push_back(backend);
+    }
+    return out;
+}
+
+std::vector<SdtwConfig>
+allConfigs()
+{
+    // All eight combinations of the recurrence switches, at the
+    // hardware dwell cap, plus the non-power-of-two bonus variants:
+    // the default bonus of 2 selects the kernel's shift reward path,
+    // bonus 3 its multiply path — both must be pinned.
+    std::vector<SdtwConfig> configs;
+    for (int bits = 0; bits < 8; ++bits) {
+        SdtwConfig config = hardwareConfig();
+        if (bits & 1)
+            config.metric = CostMetric::SquaredDifference;
+        if (bits & 2)
+            config.allowReferenceDeletion = true;
+        if (bits & 4)
+            config.matchBonus = 0.0;
+        configs.push_back(config);
+        if (config.matchBonus > 0.0) {
+            config.matchBonus = 3.0; // BonusMode::Mul
+            configs.push_back(config);
+        }
+    }
+    return configs;
+}
+
+/** Serial ground truth for a set of (state, query) lanes. */
+void
+expectMatchesSerial(const SdtwConfig &config,
+                    std::span<BatchLane> lanes,
+                    std::span<const NormSample> reference,
+                    std::vector<QuantSdtw::State> serial_states,
+                    const char *label)
+{
+    const QuantSdtw engine(config);
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        const auto want =
+            engine.process(lanes[i].query, reference, serial_states[i]);
+        const auto &got = lanes[i].result;
+        ASSERT_EQ(got.cost, want.cost)
+            << label << " lane " << i << " cfg " << config.describe();
+        ASSERT_EQ(got.refEnd, want.refEnd) << label << " lane " << i;
+        ASSERT_EQ(got.rows, want.rows) << label << " lane " << i;
+        // The checkpointed state must match too, so the lane can be
+        // resumed later from either path interchangeably.
+        ASSERT_EQ(lanes[i].state->rowsDone, serial_states[i].rowsDone);
+        ASSERT_EQ(lanes[i].state->row, serial_states[i].row)
+            << label << " lane " << i << " row state";
+        ASSERT_EQ(lanes[i].state->dwell, serial_states[i].dwell)
+            << label << " lane " << i << " dwell state";
+    }
+}
+
+// ---------------------------------------------------------------- //
+//                      backend plumbing                             //
+// ---------------------------------------------------------------- //
+
+TEST(BatchSimd, ScalarBackendAlwaysAvailable)
+{
+    EXPECT_TRUE(simdBackendAvailable(SimdBackend::Scalar));
+    EXPECT_EQ(simdLaneWidth(SimdBackend::Scalar), 1u);
+    EXPECT_STREQ(simdBackendName(SimdBackend::Scalar), "scalar");
+}
+
+TEST(BatchSimd, DetectedBackendIsAvailable)
+{
+    const SimdBackend detected = detectSimdBackend();
+    EXPECT_TRUE(simdBackendAvailable(detected));
+    EXPECT_GE(simdLaneWidth(detected), 1u);
+}
+
+TEST(BatchSimd, LaneCapacityRoundsUpToWholeGroups)
+{
+    for (SimdBackend backend : availableBackends()) {
+        const BatchSdtw kernel(hardwareConfig(), 5, backend);
+        EXPECT_EQ(kernel.laneCapacity() % kernel.laneWidth(), 0u);
+        EXPECT_GE(kernel.laneCapacity(), 5u);
+        EXPECT_EQ(kernel.laneWidth(), simdLaneWidth(backend));
+    }
+}
+
+TEST(BatchSimd, InvalidLaneCapacityIsFatal)
+{
+    EXPECT_THROW(BatchSdtw(hardwareConfig(), 0), FatalError);
+}
+
+// ---------------------------------------------------------------- //
+//          bit-exactness: every backend, every config               //
+// ---------------------------------------------------------------- //
+
+class BatchBackendTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(BatchBackendTest, RaggedBatchBitIdenticalToSerialAllConfigs)
+{
+    Rng rng(GetParam() ^ 0xba7c4ULL);
+    const auto m = std::size_t(rng.uniformInt(1, 300));
+    const auto ref = randomQuantSignal(m, rng);
+    const auto n_lanes = std::size_t(rng.uniformInt(1, 33));
+
+    std::vector<std::vector<NormSample>> queries(n_lanes);
+    for (auto &q : queries)
+        q = randomQuantSignal(std::size_t(rng.uniformInt(1, 200)), rng);
+
+    for (const SdtwConfig &config : allConfigs()) {
+        for (SimdBackend backend : availableBackends()) {
+            std::vector<QuantSdtw::State> states(n_lanes);
+            std::vector<BatchLane> lanes(n_lanes);
+            for (std::size_t i = 0; i < n_lanes; ++i) {
+                lanes[i].state = &states[i];
+                lanes[i].query = queries[i];
+            }
+            BatchSdtw kernel(config, 16, backend);
+            kernel.setSerialCutover(0); // always the batched path
+            kernel.processMany(lanes, ref);
+            expectMatchesSerial(config, lanes, ref,
+                                std::vector<QuantSdtw::State>(n_lanes),
+                                simdBackendName(backend));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchBackendTest,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(BatchSdtwTest, EdgeBatchWidthsAroundLaneWidth)
+{
+    // B = 1, lane_width - 1, lane_width, lane_width + 1: the exact
+    // boundaries where group occupancy logic can go wrong.
+    Rng rng(0xedfeULL);
+    const auto ref = randomQuantSignal(120, rng);
+    const SdtwConfig config = hardwareConfig();
+
+    for (SimdBackend backend : availableBackends()) {
+        const std::size_t w = simdLaneWidth(backend);
+        std::vector<std::size_t> widths{1, w, w + 1};
+        if (w > 1)
+            widths.push_back(w - 1);
+        for (std::size_t b : widths) {
+            std::vector<std::vector<NormSample>> queries(b);
+            for (auto &q : queries)
+                q = randomQuantSignal(
+                    std::size_t(rng.uniformInt(1, 80)), rng);
+            std::vector<QuantSdtw::State> states(b);
+            std::vector<BatchLane> lanes(b);
+            for (std::size_t i = 0; i < b; ++i) {
+                lanes[i].state = &states[i];
+                lanes[i].query = queries[i];
+            }
+            BatchSdtw kernel(config, std::max<std::size_t>(b, 1),
+                             backend);
+            kernel.setSerialCutover(0);
+            kernel.processMany(lanes, ref);
+            expectMatchesSerial(config, lanes, ref,
+                                std::vector<QuantSdtw::State>(b),
+                                simdBackendName(backend));
+        }
+    }
+}
+
+TEST(BatchSdtwTest, AllLanesDifferentLengthsRetireRagged)
+{
+    // Query lengths 1, 2, ..., B: every row fold retires at most one
+    // lane, exercising the retire-and-continue path maximally.
+    Rng rng(0x1a9eULL);
+    const auto ref = randomQuantSignal(200, rng);
+    const std::size_t b = 24;
+    std::vector<std::vector<NormSample>> queries(b);
+    for (std::size_t i = 0; i < b; ++i)
+        queries[i] = randomQuantSignal(i + 1, rng);
+
+    for (SimdBackend backend : availableBackends()) {
+        std::vector<QuantSdtw::State> states(b);
+        std::vector<BatchLane> lanes(b);
+        for (std::size_t i = 0; i < b; ++i) {
+            lanes[i].state = &states[i];
+            lanes[i].query = queries[i];
+        }
+        BatchSdtw kernel(hardwareConfig(), 8, backend);
+        kernel.setSerialCutover(0);
+        kernel.processMany(lanes, ref);
+        expectMatchesSerial(hardwareConfig(), lanes, ref,
+                            std::vector<QuantSdtw::State>(b),
+                            simdBackendName(backend));
+    }
+}
+
+TEST(BatchSdtwTest, LanesRefilledMidBatchFromPendingQueue)
+{
+    // Far more lanes than capacity with wildly mixed lengths: short
+    // reads retire early and free slots that are refilled from the
+    // pending queue while long reads are still in flight.
+    Rng rng(0x5e71ULL);
+    const auto ref = randomQuantSignal(150, rng);
+    const std::size_t b = 40;
+    std::vector<std::vector<NormSample>> queries(b);
+    for (std::size_t i = 0; i < b; ++i) {
+        const std::size_t len = (i % 3 == 0) ? 150 : (i % 3 == 1 ? 3 : 40);
+        queries[i] = randomQuantSignal(len, rng);
+    }
+
+    for (SimdBackend backend : availableBackends()) {
+        std::vector<QuantSdtw::State> states(b);
+        std::vector<BatchLane> lanes(b);
+        for (std::size_t i = 0; i < b; ++i) {
+            lanes[i].state = &states[i];
+            lanes[i].query = queries[i];
+        }
+        BatchSdtw kernel(hardwareConfig(), 8, backend); // forces refills
+        kernel.setSerialCutover(0);
+        kernel.processMany(lanes, ref);
+        expectMatchesSerial(hardwareConfig(), lanes, ref,
+                            std::vector<QuantSdtw::State>(b),
+                            simdBackendName(backend));
+    }
+}
+
+TEST(BatchSdtwTest, MixedFreshAndResumedStatesInOneBatch)
+{
+    // Half the lanes enter with a checkpoint from an earlier chunk
+    // (resumed mid-read), half start fresh — in the same batch.
+    Rng rng(0x317fULL);
+    const auto ref = randomQuantSignal(180, rng);
+    const QuantSdtw engine(hardwareConfig());
+    const std::size_t b = 12;
+
+    std::vector<std::vector<NormSample>> chunk1(b), chunk2(b);
+    std::vector<QuantSdtw::State> states(b), serial(b);
+    for (std::size_t i = 0; i < b; ++i) {
+        chunk2[i] = randomQuantSignal(
+            std::size_t(rng.uniformInt(1, 60)), rng);
+        if (i % 2 == 0) {
+            chunk1[i] = randomQuantSignal(
+                std::size_t(rng.uniformInt(1, 60)), rng);
+            engine.process(chunk1[i], ref, states[i]);
+            engine.process(chunk1[i], ref, serial[i]);
+        }
+    }
+
+    for (SimdBackend backend : availableBackends()) {
+        auto batch_states = states;
+        auto serial_states = serial;
+        std::vector<BatchLane> lanes(b);
+        for (std::size_t i = 0; i < b; ++i) {
+            lanes[i].state = &batch_states[i];
+            lanes[i].query = chunk2[i];
+        }
+        BatchSdtw kernel(hardwareConfig(), 16, backend);
+        kernel.setSerialCutover(0);
+        kernel.processMany(lanes, ref);
+        expectMatchesSerial(hardwareConfig(), lanes, ref,
+                            std::move(serial_states),
+                            simdBackendName(backend));
+    }
+}
+
+TEST(BatchSdtwTest, StateEntersAndLeavesBatchBetweenChunks)
+{
+    // Chunked streaming through *different* batches (and different
+    // co-lanes each time) equals the serial one-shot alignment: the
+    // checkpoint is a plain SdtwState either way.
+    Rng rng(0x90c2ULL);
+    const auto ref = randomQuantSignal(160, rng);
+    const auto query = randomQuantSignal(100, rng);
+    const QuantSdtw engine(hardwareConfig());
+    const auto one_shot = engine.align(query, ref);
+
+    for (SimdBackend backend : availableBackends()) {
+        BatchSdtw kernel(hardwareConfig(), 8, backend);
+        kernel.setSerialCutover(0);
+        QuantSdtw::State state;
+        QuantSdtw::Result last{};
+        std::size_t offset = 0;
+        std::uint64_t noise_seed = 0;
+        while (offset < query.size()) {
+            const auto len = std::min<std::size_t>(
+                std::size_t(rng.uniformInt(1, 30)),
+                query.size() - offset);
+            // Fresh decoy lanes each round: the lane under test must
+            // be unaffected by whoever shares the batch.
+            Rng noise(++noise_seed);
+            auto decoy_q = randomQuantSignal(20, noise);
+            QuantSdtw::State decoy_state;
+            std::vector<BatchLane> lanes(2);
+            lanes[0].state = &state;
+            lanes[0].query =
+                std::span<const NormSample>(query).subspan(offset, len);
+            lanes[1].state = &decoy_state;
+            lanes[1].query = decoy_q;
+            kernel.processMany(lanes, ref);
+            last = lanes[0].result;
+            offset += len;
+        }
+        EXPECT_EQ(last.cost, one_shot.cost) << simdBackendName(backend);
+        EXPECT_EQ(last.refEnd, one_shot.refEnd);
+        EXPECT_EQ(last.rows, query.size());
+    }
+}
+
+TEST(BatchSdtwTest, EmptyQueryWithResumedStateReportsCurrentRow)
+{
+    Rng rng(0x44dULL);
+    const auto ref = randomQuantSignal(90, rng);
+    const auto chunk = randomQuantSignal(30, rng);
+    const QuantSdtw engine(hardwareConfig());
+
+    QuantSdtw::State serial_state;
+    engine.process(chunk, ref, serial_state);
+    const auto want = engine.process({}, ref, serial_state);
+
+    for (SimdBackend backend : availableBackends()) {
+        QuantSdtw::State state;
+        engine.process(chunk, ref, state);
+        std::vector<BatchLane> lanes(5);
+        std::vector<QuantSdtw::State> others(5);
+        std::vector<std::vector<NormSample>> other_q(5);
+        for (std::size_t i = 1; i < 5; ++i) {
+            other_q[i] = randomQuantSignal(10, rng);
+            lanes[i].state = &others[i];
+            lanes[i].query = other_q[i];
+        }
+        lanes[0].state = &state;
+        lanes[0].query = {};
+        BatchSdtw kernel(hardwareConfig(), 8, backend);
+        kernel.setSerialCutover(0);
+        kernel.processMany(lanes, ref);
+        EXPECT_EQ(lanes[0].result.cost, want.cost);
+        EXPECT_EQ(lanes[0].result.refEnd, want.refEnd);
+        EXPECT_EQ(lanes[0].result.rows, want.rows);
+    }
+}
+
+TEST(BatchSdtwTest, SerialCutoverPathIsAlsoBitIdentical)
+{
+    // Below the cutover processMany() delegates to the serial engine;
+    // results must be indistinguishable from the batched path.
+    Rng rng(0xc0feULL);
+    const auto ref = randomQuantSignal(100, rng);
+    const auto q = randomQuantSignal(50, rng);
+    const QuantSdtw engine(hardwareConfig());
+    QuantSdtw::State want_state;
+    const auto want = engine.process(q, ref, want_state);
+
+    BatchSdtw kernel(hardwareConfig());
+    ASSERT_GE(BatchSdtw::kDefaultSerialCutover, 2u);
+    QuantSdtw::State state;
+    std::vector<BatchLane> lanes(1);
+    lanes[0].state = &state;
+    lanes[0].query = q;
+    kernel.processMany(lanes, ref);
+    EXPECT_EQ(lanes[0].result.cost, want.cost);
+    EXPECT_EQ(state.row, want_state.row);
+}
+
+TEST(BatchSdtwTest, InvalidLanesAreFatal)
+{
+    Rng rng(0x3aaULL);
+    const auto ref = randomQuantSignal(50, rng);
+    const auto other_ref = randomQuantSignal(60, rng);
+    const auto q = randomQuantSignal(10, rng);
+    BatchSdtw kernel(hardwareConfig());
+    kernel.setSerialCutover(0);
+
+    { // empty reference
+        QuantSdtw::State state;
+        std::vector<BatchLane> lanes{{&state, q, {}}};
+        EXPECT_THROW(kernel.processMany(lanes, {}), FatalError);
+    }
+    { // fresh state and empty query
+        QuantSdtw::State state;
+        std::vector<BatchLane> lanes{{&state, {}, {}}};
+        EXPECT_THROW(kernel.processMany(lanes, ref), FatalError);
+    }
+    { // state/reference length mismatch
+        QuantSdtw::State state;
+        QuantSdtw(hardwareConfig()).process(q, other_ref, state);
+        std::vector<BatchLane> lanes{{&state, q, {}}};
+        EXPECT_THROW(kernel.processMany(lanes, ref), FatalError);
+    }
+    { // null state
+        std::vector<BatchLane> lanes{{nullptr, q, {}}};
+        EXPECT_THROW(kernel.processMany(lanes, ref), FatalError);
+    }
+}
+
+// ---------------------------------------------------------------- //
+//                golden pins (same table as test_sdtw)              //
+// ---------------------------------------------------------------- //
+
+TEST(BatchSdtwTest, GoldenCostsMatchSeedImplementation)
+{
+    // The same golden table that pins the serial engine to the seed
+    // scalar implementation (see test_sdtw.cpp), evaluated through
+    // the batched kernel on every available backend.
+    struct Golden
+    {
+        std::uint64_t seed;
+        int cfg;
+        Cost cost;
+        std::size_t refEnd;
+    };
+    const Golden golden[] = {
+        {1, 0, 14214, 2778},  {1, 1, 962577, 2685},
+        {1, 2, 12858, 2797},  {1, 3, 687020, 2258},
+        {1, 4, 14993, 1502},  {1, 5, 963355, 2685},
+        {1, 6, 13650, 2797},  {1, 7, 687808, 2258},
+        {2, 0, 14117, 1607},  {2, 1, 970620, 1597},
+        {2, 2, 12808, 1629},  {2, 3, 675287, 1704},
+        {2, 4, 14908, 1606},  {2, 5, 971418, 1597},
+        {2, 6, 13602, 1629},  {2, 7, 676085, 1704},
+    };
+    for (SimdBackend backend : availableBackends()) {
+        for (const auto &g : golden) {
+            Rng rng(g.seed);
+            const auto query = randomQuantSignal(400, rng);
+            const auto ref = randomQuantSignal(3000, rng);
+            SdtwConfig config = hardwareConfig();
+            if (g.cfg & 1)
+                config.metric = CostMetric::SquaredDifference;
+            if (g.cfg & 2)
+                config.allowReferenceDeletion = true;
+            if (g.cfg & 4)
+                config.matchBonus = 0.0;
+
+            // Duplicate the read across several lanes; each must
+            // reproduce the pinned cost independently.
+            std::vector<QuantSdtw::State> states(6);
+            std::vector<BatchLane> lanes(6);
+            for (std::size_t i = 0; i < lanes.size(); ++i) {
+                lanes[i].state = &states[i];
+                lanes[i].query = query;
+            }
+            BatchSdtw kernel(config, 8, backend);
+            kernel.setSerialCutover(0);
+            kernel.processMany(lanes, ref);
+            for (const auto &lane : lanes) {
+                EXPECT_EQ(lane.result.cost, g.cost)
+                    << simdBackendName(backend) << " seed=" << g.seed
+                    << " cfg=" << g.cfg;
+                EXPECT_EQ(lane.result.refEnd, g.refEnd);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+//            batched classifier paths ride the kernel               //
+// ---------------------------------------------------------------- //
+
+class BatchFilterTest : public ::testing::Test
+{
+  protected:
+    static const pore::ReferenceSquiggle &
+    reference()
+    {
+        static const pore::KmerModel model = pore::KmerModel::makeR941();
+        static const genome::Genome virus = genome::makeSynthetic(
+            "virus", {.length = 4000, .gcContent = 0.42, .seed = 77});
+        static const pore::ReferenceSquiggle ref(virus, model);
+        return ref;
+    }
+
+    static const signal::Dataset &
+    data()
+    {
+        static const signal::Dataset d = [] {
+            static const pore::KmerModel model =
+                pore::KmerModel::makeR941();
+            static const genome::Genome virus = genome::makeSynthetic(
+                "virus", {.length = 4000, .gcContent = 0.42, .seed = 77});
+            static const genome::Genome host = genome::makeSynthetic(
+                "host", {.length = 60000, .seed = 78});
+            static const signal::SignalSimulator sim(model);
+            static const signal::DatasetGenerator gen(virus, host, sim);
+            signal::DatasetSpec spec;
+            spec.numReads = 30;
+            spec.targetFraction = 0.5;
+            spec.targetLengths = {900.0, 0.4, 400, 4000};
+            spec.backgroundLengths = {900.0, 0.4, 400, 4000};
+            spec.seed = 79;
+            return gen.generate(spec);
+        }();
+        return d;
+    }
+};
+
+TEST_F(BatchFilterTest, FeedChunkBatchMatchesSerialFeedAnySplit)
+{
+    SquiggleFilterClassifier classifier(reference());
+    classifier.setStages({{800, 60000}, {2000, 120000}, {3200, 200000}});
+
+    for (SimdBackend backend : availableBackends()) {
+        BatchSdtw kernel(classifier.config(),
+                         BatchSdtw::kDefaultLaneCapacity, backend);
+        kernel.setSerialCutover(0);
+        Rng rng(0xfeed ^ std::uint64_t(backend));
+
+        // Feed all reads in lockstep, random chunk sizes per round,
+        // through the batched path; compare to the serial streaming
+        // path read by read.
+        const auto &reads = data().reads;
+        std::vector<ClassifierStream> streams;
+        streams.reserve(reads.size());
+        for (std::size_t i = 0; i < reads.size(); ++i)
+            streams.push_back(classifier.beginStream());
+        std::vector<std::size_t> offsets(reads.size(), 0);
+
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            std::vector<StreamFeed> feeds;
+            for (std::size_t i = 0; i < reads.size(); ++i) {
+                const auto &raw = reads[i].raw;
+                if (offsets[i] >= raw.size())
+                    continue;
+                const auto len = std::min<std::size_t>(
+                    std::size_t(rng.uniformInt(200, 1700)),
+                    raw.size() - offsets[i]);
+                feeds.push_back(StreamFeed{
+                    &streams[i],
+                    std::span<const RawSample>(raw).subspan(offsets[i],
+                                                            len),
+                    offsets[i] + len >= raw.size()});
+                offsets[i] += len;
+                progress = true;
+            }
+            if (!feeds.empty())
+                classifier.feedChunkBatch(feeds, kernel);
+        }
+
+        for (std::size_t i = 0; i < reads.size(); ++i) {
+            const auto serial = classifier.classify(reads[i].raw);
+            const auto &batched = streams[i].result;
+            EXPECT_TRUE(streams[i].decided);
+            EXPECT_EQ(batched.keep, serial.keep)
+                << simdBackendName(backend) << " read " << i;
+            EXPECT_EQ(batched.cost, serial.cost);
+            EXPECT_EQ(batched.refEnd, serial.refEnd);
+            EXPECT_EQ(batched.samplesUsed, serial.samplesUsed);
+            EXPECT_EQ(batched.stagesRun, serial.stagesRun);
+        }
+    }
+}
+
+TEST_F(BatchFilterTest, ProcessBatchLaneBatchedMatchesSerialClassify)
+{
+    SquiggleFilterClassifier classifier(reference());
+    classifier.setStages({{1000, 80000}, {2000, 140000}});
+
+    const auto batch = classifier.processBatch(data().reads);
+    ASSERT_EQ(batch.size(), data().reads.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const auto serial = classifier.classify(data().reads[i].raw);
+        EXPECT_EQ(batch[i].keep, serial.keep) << "read " << i;
+        EXPECT_EQ(batch[i].cost, serial.cost);
+        EXPECT_EQ(batch[i].refEnd, serial.refEnd);
+        EXPECT_EQ(batch[i].samplesUsed, serial.samplesUsed);
+        EXPECT_EQ(batch[i].stagesRun, serial.stagesRun);
+    }
+}
+
+} // namespace
+} // namespace sf::sdtw

@@ -19,6 +19,7 @@
 #include "hw/tile.hpp"
 #include "pore/kmer_model.hpp"
 #include "pore/reference_squiggle.hpp"
+#include "sdtw/batch.hpp"
 #include "sdtw/filter.hpp"
 #include "signal/dataset.hpp"
 
@@ -94,6 +95,47 @@ TEST_P(SystolicEquivalenceTest, ResumedPassesMatchChunkedEngine)
     const auto got = array.run(q2, ref, &hw_state, false);
     EXPECT_EQ(got.cost, want.cost);
     EXPECT_EQ(got.refEnd, want.refEnd);
+}
+
+TEST_P(SystolicEquivalenceTest, LaneBatchedKernelMatchesSystolicArray)
+{
+    // Transitivity made explicit: the lane-batched SIMD kernel must
+    // agree with the cycle-accurate systolic array (both are pinned
+    // to QuantSdtw, but this closes the triangle directly), on every
+    // available backend, with several reads sharing the batch.
+    Rng rng(GetParam() ^ 0xb47cULL);
+    const auto m = std::size_t(rng.uniformInt(4, 160));
+    const auto ref = randomQuantSignal(m, rng);
+    const sdtw::SdtwConfig config = sdtw::hardwareConfig();
+
+    constexpr std::size_t kReads = 6;
+    std::vector<std::vector<NormSample>> queries(kReads);
+    for (auto &q : queries)
+        q = randomQuantSignal(std::size_t(rng.uniformInt(1, 64)), rng);
+
+    for (sdtw::SimdBackend backend :
+         {sdtw::SimdBackend::Scalar, sdtw::SimdBackend::Sse2,
+          sdtw::SimdBackend::Avx2, sdtw::SimdBackend::Avx512}) {
+        if (!sdtw::simdBackendAvailable(backend))
+            continue;
+        std::vector<sdtw::QuantSdtw::State> states(kReads);
+        std::vector<sdtw::BatchLane> lanes(kReads);
+        for (std::size_t i = 0; i < kReads; ++i) {
+            lanes[i].state = &states[i];
+            lanes[i].query = queries[i];
+        }
+        sdtw::BatchSdtw kernel(config, 8, backend);
+        kernel.setSerialCutover(0);
+        kernel.processMany(lanes, ref);
+
+        for (std::size_t i = 0; i < kReads; ++i) {
+            SystolicArray array(queries[i].size(), config);
+            const auto hw = array.run(queries[i], ref);
+            EXPECT_EQ(lanes[i].result.cost, hw.cost)
+                << sdtw::simdBackendName(backend) << " read " << i;
+            EXPECT_EQ(lanes[i].result.refEnd, hw.refEnd);
+        }
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SystolicEquivalenceTest,

@@ -235,6 +235,33 @@ TEST_F(SessionTest, DecisionLogDeterministicAcrossWorkerCounts)
     }
 }
 
+TEST_F(SessionTest, LaneBatchedWorkersMatchSerialWorkersBitExactly)
+{
+    // The SIMD lane-batched worker path and the serial per-request
+    // path must produce the same decision log, costs included — lane
+    // batching may only change wall-clock throughput.
+    const auto &data = pipeline::makeStreamDataset(48, 0.5, 12);
+    const auto &batched_run = baselineRun(); // laneBatching defaults on
+
+    SessionConfig cfg = config();
+    cfg.laneBatching = false;
+    const auto serial_run =
+        ReadUntilSession(classifier(), cfg).run(data.reads);
+    ASSERT_EQ(serial_run.log.size(), batched_run.log.size());
+    for (std::size_t i = 0; i < serial_run.log.size(); ++i) {
+        const auto &a = batched_run.log[i];
+        const auto &b = serial_run.log[i];
+        EXPECT_EQ(a.readId, b.readId);
+        EXPECT_EQ(a.channel, b.channel);
+        EXPECT_EQ(a.keep, b.keep);
+        EXPECT_EQ(a.cost, b.cost);
+        EXPECT_EQ(a.samplesUsed, b.samplesUsed);
+        EXPECT_EQ(a.stagesRun, b.stagesRun);
+    }
+    EXPECT_EQ(serial_run.stats.dpRowsFolded,
+              batched_run.stats.dpRowsFolded);
+}
+
 TEST_F(SessionTest, DecisionLogDeterministicUnderTightBackpressure)
 {
     const auto &data = pipeline::makeStreamDataset(48, 0.5, 12);
