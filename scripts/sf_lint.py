@@ -1,0 +1,326 @@
+#!/usr/bin/env python3
+"""Project-specific lint for invariants no generic tool knows.
+
+Four rules, each encoding a correctness contract of this codebase:
+
+  simd-backend-integrity   Every SIMD backend TU (src/sdtw/
+                           batch_{sse2,avx2,avx512}.cpp) keeps its
+                           ISA-flag guard block, its CMake per-TU ISA
+                           flags, and its golden-pin test registration
+                           in tests/test_batch.cpp.  A backend that
+                           silently drops out of the build or out of
+                           the pin loop would ship unverified SIMD.
+
+  concurrency-containment  No raw concurrency primitives
+                           (std::mutex, std::thread, std::atomic,
+                           std::condition_variable, ...) outside
+                           src/common/ and src/stream/.  Everything
+                           else must go through the sanctioned
+                           wrappers (parallelFor, Memo, BoundedQueue)
+                           so the TSan-audited surface stays small.
+                           std::thread::hardware_concurrency() is
+                           allowed anywhere: it is a query, not a
+                           primitive.
+
+  quantized-hot-path-purity  The quantized sDTW hot path (the lane-
+                           batched kernel TUs) must stay integer-only:
+                           no float/double tokens.  A stray double
+                           would silently break the saturating-int
+                           bit-exactness contract the golden pins and
+                           the ASIC model depend on.
+
+  env-knob-docs            Every SF_* environment knob read anywhere
+                           in the tree must be documented in
+                           README.md, so no behaviour switch exists
+                           only in the code.
+
+Adding a rule: write a function taking (root, findings) that appends
+Finding tuples, give it a one-line DOC string, and register it in
+RULES at the bottom.  Rules must be pure text analysis — this script
+runs before any build exists.
+
+Exit status: 0 when clean, 1 with one line per violation otherwise.
+--report FILE additionally writes the full text (pass or fail) there.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List, NamedTuple
+
+
+class Finding(NamedTuple):
+    rule: str
+    path: str  # repo-relative, possibly with :line
+    message: str
+
+
+def strip_comments(text: str) -> str:
+    """Remove // and /* */ comments and string literals from C++ text.
+
+    Line numbers are preserved (newlines inside block comments are
+    kept) so offsets computed on the result map back to the file.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            seg = text[i : n if j < 0 else j + 2]
+            out.append("\n" * seg.count("\n"))
+            i = n if j < 0 else j + 2
+        elif c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            out.append('""')
+            i = min(j + 1, n)
+        elif c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            out.append("''")
+            i = min(j + 1, n)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+# ------------------------------------------------------------------ #
+# Rule: simd-backend-integrity                                        #
+# ------------------------------------------------------------------ #
+
+# backend -> (ISA macros that must appear in the TU's guard,
+#             compiler flags CMake must hand that TU)
+BACKENDS = {
+    "sse2": (["__SSE2__"], []),  # baseline x86-64: no extra flags
+    "avx2": (["__AVX2__"], ["-mavx2"]),
+    "avx512": (
+        ["__AVX512F__", "__AVX512BW__", "__AVX512VL__"],
+        ["-mavx512f", "-mavx512bw", "-mavx512vl"],
+    ),
+}
+
+# Enumerator each backend registers golden pins under (test_batch.cpp
+# iterates availableBackends() inside the pin test, and the
+# availableBackends() helper must enumerate every backend).
+BACKEND_ENUMERATORS = {
+    "sse2": "SimdBackend::Sse2",
+    "avx2": "SimdBackend::Avx2",
+    "avx512": "SimdBackend::Avx512",
+}
+
+GOLDEN_PIN_TEST = "GoldenCostsMatchSeedImplementation"
+
+
+def rule_simd_backend_integrity(root: Path, findings: List[Finding]):
+    rule = "simd-backend-integrity"
+    cmake = (root / "CMakeLists.txt").read_text()
+    test_path = root / "tests" / "test_batch.cpp"
+    test_text = test_path.read_text() if test_path.exists() else ""
+
+    if GOLDEN_PIN_TEST not in test_text:
+        findings.append(
+            Finding(rule, "tests/test_batch.cpp",
+                    f"golden-pin test {GOLDEN_PIN_TEST} is gone; the "
+                    "SIMD backends are no longer pinned to the seed "
+                    "costs"))
+    elif "availableBackends()" not in test_text.split(GOLDEN_PIN_TEST, 1)[1]:
+        findings.append(
+            Finding(rule, "tests/test_batch.cpp",
+                    f"{GOLDEN_PIN_TEST} no longer iterates "
+                    "availableBackends(); backends can skip the pins"))
+
+    for backend, (macros, flags) in BACKENDS.items():
+        rel = f"src/sdtw/batch_{backend}.cpp"
+        tu = root / rel
+        if not tu.exists():
+            findings.append(Finding(rule, rel, "backend TU is missing"))
+            continue
+        text = tu.read_text()
+        guard = next((ln for ln in text.splitlines()
+                      if ln.lstrip().startswith("#if")
+                      and all(m in ln for m in macros)), None)
+        if guard is None:
+            findings.append(
+                Finding(rule, rel,
+                        "ISA guard block (#if defined(%s)) is missing; "
+                        "the TU would break non-%s builds"
+                        % (" && ".join(macros), backend)))
+        for flag in flags:
+            # The flag must be granted in the same CMake statement
+            # that names this TU.
+            granted = any(rel.split("/")[-1] in stmt and flag in stmt
+                          for stmt in cmake.split("set_source_files_properties"))
+            if not granted:
+                findings.append(
+                    Finding(rule, "CMakeLists.txt",
+                            f"{rel} lost its {flag} compile flag; the "
+                            "backend would silently drop out of the "
+                            "build"))
+        enum = BACKEND_ENUMERATORS[backend]
+        if test_text and enum not in test_text:
+            findings.append(
+                Finding(rule, "tests/test_batch.cpp",
+                        f"{enum} never appears; the {backend} backend "
+                        "is not registered for the golden pins"))
+
+
+# ------------------------------------------------------------------ #
+# Rule: concurrency-containment                                       #
+# ------------------------------------------------------------------ #
+
+CONCURRENCY_ALLOWED_DIRS = ("src/common/", "src/stream/")
+
+CONCURRENCY_TOKENS = re.compile(
+    r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(?:_any)?|thread|jthread|atomic\w*|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock|future|promise|"
+    r"async|call_once|once_flag)\b")
+
+# A query about the machine, not a synchronization primitive.
+CONCURRENCY_EXEMPT = re.compile(r"std::thread::hardware_concurrency")
+
+
+def rule_concurrency_containment(root: Path, findings: List[Finding]):
+    rule = "concurrency-containment"
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in (".hpp", ".cpp"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        if rel.startswith(CONCURRENCY_ALLOWED_DIRS):
+            continue
+        text = CONCURRENCY_EXEMPT.sub("", strip_comments(path.read_text()))
+        for m in CONCURRENCY_TOKENS.finditer(text):
+            findings.append(
+                Finding(rule, f"{rel}:{line_of(text, m.start())}",
+                        f"raw {m.group(0)} outside src/common//"
+                        "src/stream/; use the wrappers there "
+                        "(parallelFor, Memo, BoundedQueue) so the "
+                        "TSan-audited surface stays contained"))
+
+
+# ------------------------------------------------------------------ #
+# Rule: quantized-hot-path-purity                                     #
+# ------------------------------------------------------------------ #
+
+HOT_PATH_FILES = [
+    "src/sdtw/batch_kernel.hpp",
+    "src/sdtw/batch.cpp",
+    "src/sdtw/batch_sse2.cpp",
+    "src/sdtw/batch_avx2.cpp",
+    "src/sdtw/batch_avx512.cpp",
+]
+
+FLOATING_TOKEN = re.compile(r"\b(float|double|long double)\b")
+
+
+def rule_quantized_hot_path_purity(root: Path, findings: List[Finding]):
+    rule = "quantized-hot-path-purity"
+    for rel in HOT_PATH_FILES:
+        path = root / rel
+        if not path.exists():
+            findings.append(
+                Finding(rule, rel,
+                        "hot-path TU is missing (update HOT_PATH_FILES "
+                        "in scripts/sf_lint.py if it moved)"))
+            continue
+        text = strip_comments(path.read_text())
+        for m in FLOATING_TOKEN.finditer(text):
+            findings.append(
+                Finding(rule, f"{rel}:{line_of(text, m.start())}",
+                        f"floating-point type '{m.group(0)}' in the "
+                        "quantized sDTW hot path; the kernel contract "
+                        "is saturating integer arithmetic, bit-exact "
+                        "across backends"))
+
+
+# ------------------------------------------------------------------ #
+# Rule: env-knob-docs                                                 #
+# ------------------------------------------------------------------ #
+
+GETENV_RE = re.compile(r'getenv\(\s*"(SF_[A-Z0-9_]+)"')
+SHELL_ENV_RE = re.compile(r"\$\{(SF_[A-Z0-9_]+)")
+
+
+def rule_env_knob_docs(root: Path, findings: List[Finding]):
+    rule = "env-knob-docs"
+    readme = (root / "README.md").read_text()
+    knobs = {}  # name -> first reference site
+    for sub in ("src", "bench", "examples", "tests"):
+        for path in sorted((root / sub).rglob("*")):
+            if path.suffix not in (".hpp", ".cpp"):
+                continue
+            text = path.read_text()
+            for m in GETENV_RE.finditer(text):
+                knobs.setdefault(
+                    m.group(1),
+                    f"{path.relative_to(root).as_posix()}:"
+                    f"{line_of(text, m.start())}")
+    for path in sorted((root / "scripts").glob("*.sh")):
+        text = path.read_text()
+        for m in SHELL_ENV_RE.finditer(text):
+            knobs.setdefault(
+                m.group(1),
+                f"{path.relative_to(root).as_posix()}:"
+                f"{line_of(text, m.start())}")
+    for name, site in sorted(knobs.items()):
+        if name not in readme:
+            findings.append(
+                Finding(rule, site,
+                        f"env knob {name} is read here but never "
+                        "documented in README.md"))
+
+
+# ------------------------------------------------------------------ #
+
+RULES = [
+    rule_simd_backend_integrity,
+    rule_concurrency_containment,
+    rule_quantized_hot_path_purity,
+    rule_env_knob_docs,
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path, default=Path(__file__).parent.parent,
+                        help="repository root (default: the checkout)")
+    parser.add_argument("--report", type=Path, default=None,
+                        help="also write the result text to this file")
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    findings: List[Finding] = []
+    for rule in RULES:
+        rule(root, findings)
+
+    lines = []
+    if findings:
+        for f in findings:
+            lines.append(f"sf-lint [{f.rule}] {f.path}: {f.message}")
+        lines.append(f"sf-lint: {len(findings)} violation(s) in "
+                     f"{len(RULES)} rules")
+    else:
+        lines.append(f"sf-lint: clean ({len(RULES)} rules)")
+    text = "\n".join(lines) + "\n"
+    sys.stdout.write(text)
+    if args.report:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(text)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,7 +36,7 @@ chainStrand(std::vector<SeedHit> &hits, bool same_strand,
                 break; // sorted by queryPos: older anchors only farther
             // For same-strand chains the reference advances with the
             // query; for opposite-strand chains it retreats.
-            std::uint32_t rd;
+            std::uint32_t rd = 0;
             if (same_strand) {
                 if (hits[i].refPos <= hits[j].refPos)
                     continue;

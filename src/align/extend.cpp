@@ -143,7 +143,7 @@ bandedExtend(const std::vector<genome::Base> &query,
     while (true) {
         const std::uint8_t dir = trace[i * width + b];
         if (dir == 0 || dir == 3) {
-            matches += query[i] == ref_window[std::size_t(j)] ? 1 : 0;
+            matches += query[i] == ref_window[std::size_t(j)] ? 1u : 0u;
             push('M');
             if (dir == 3 || i == 0)
                 break;

@@ -53,8 +53,8 @@ class MinimizerIndex
   private:
     struct Entry
     {
-        std::uint32_t pos;
-        bool reverse;
+        std::uint32_t pos = 0;
+        bool reverse = false;
     };
 
     std::unordered_map<std::uint64_t, std::vector<Entry>> table_;

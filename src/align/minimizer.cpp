@@ -36,9 +36,9 @@ extractMinimizers(const std::vector<genome::Base> &bases,
     // Monotonic deque of candidate (hash, pos, reverse) triples.
     struct Candidate
     {
-        std::uint64_t hash;
-        std::uint32_t pos;
-        bool reverse;
+        std::uint64_t hash = 0;
+        std::uint32_t pos = 0;
+        bool reverse = false;
     };
     std::deque<Candidate> window;
     std::uint32_t last_emitted_pos = ~0u;

@@ -62,7 +62,7 @@ class ReferenceGuidedAssembler
   private:
     const genome::Genome &reference_;
     const align::ReadAligner &aligner_;
-    double targetCoverage_;
+    double targetCoverage_ = 0.0;
     Pileup pileup_;
     std::size_t unmapped_ = 0;
 };

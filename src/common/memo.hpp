@@ -1,0 +1,67 @@
+#ifndef SF_COMMON_MEMO_HPP
+#define SF_COMMON_MEMO_HPP
+
+/**
+ * @file
+ * Thread-safe memoization cache.
+ *
+ * Concurrency primitives are deliberately concentrated in src/common
+ * and src/stream (enforced by scripts/sf_lint.py's
+ * concurrency-containment rule) so the surface TSan has to audit
+ * stays small.  Code elsewhere that wants a process-wide cache uses
+ * this wrapper instead of rolling a static mutex + map pair.
+ */
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace sf {
+
+/**
+ * Keyed cache of expensive-to-build values.
+ *
+ * getOrCreate() serialises all access with an internal mutex: the
+ * factory for a missing key runs under the lock, so concurrent
+ * callers asking for the same key build it exactly once.  Returned
+ * references stay valid for the Memo's lifetime (std::map nodes are
+ * stable), but are only safe to *read* concurrently — Value's const
+ * interface must be thread-safe.
+ *
+ * Intended for coarse-grained fixtures (datasets, squiggle tables)
+ * where the factory dominates and lock contention is irrelevant; do
+ * not put this on a per-sample hot path.
+ */
+template <typename Key, typename Value>
+class Memo
+{
+  public:
+    /** The cached value for @p key, building it on first request. */
+    const Value &
+    getOrCreate(const Key &key,
+                const std::function<Value()> &factory)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(key);
+        if (it == cache_.end())
+            it = cache_.emplace(key, factory()).first;
+        return it->second;
+    }
+
+    /** Entries currently cached (for tests). */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return cache_.size();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<Key, Value> cache_;
+};
+
+} // namespace sf
+
+#endif // SF_COMMON_MEMO_HPP

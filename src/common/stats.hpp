@@ -87,8 +87,8 @@ class Histogram
     std::string render(std::size_t width = 50) const;
 
   private:
-    double lo_;
-    double hi_;
+    double lo_ = 0.0;
+    double hi_ = 0.0;
     std::vector<std::size_t> counts_;
     std::size_t total_ = 0;
 };

@@ -66,7 +66,7 @@ class FmIndex
     std::vector<std::uint8_t> bwt_;
     std::vector<std::uint32_t> suffixArray_;
     std::uint32_t c_[kAlphabet + 1] = {}; //!< cumulative symbol counts
-    std::uint32_t occRate_;
+    std::uint32_t occRate_ = 0;
     /** occ checkpoints: checkpoint c, symbol s -> count. */
     std::vector<std::uint32_t> occSamples_;
 };

@@ -54,9 +54,9 @@ Genome makeHumanBackground(std::size_t length = 4'000'000);
 /** Catalogue entry for Figure 10 (epidemic virus genome lengths). */
 struct VirusInfo
 {
-    const char *name;
-    std::size_t genomeLength; //!< bases
-    bool doubleStranded;      //!< dsDNA vs ssRNA
+    const char *name = nullptr;
+    std::size_t genomeLength = 0; //!< bases
+    bool doubleStranded = false;  //!< dsDNA vs ssRNA
 };
 
 /**

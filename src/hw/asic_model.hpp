@@ -103,8 +103,8 @@ class AsicModel
     int numTiles() const { return numTiles_; }
 
   private:
-    std::size_t numPes_;
-    int numTiles_;
+    std::size_t numPes_ = 0;
+    int numTiles_ = 0;
 };
 
 } // namespace sf::hw

@@ -3,10 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 #include <functional>
-#include <map>
-#include <mutex>
 #include <tuple>
 
+#include "common/memo.hpp"
 #include "genome/synthetic.hpp"
 #include "sdtw/threshold.hpp"
 
@@ -98,13 +97,8 @@ const signal::Dataset &
 cachedDataset(const DatasetKey &key,
               const std::function<signal::Dataset()> &generate)
 {
-    static std::mutex mutex;
-    static std::map<DatasetKey, signal::Dataset> cache;
-    std::lock_guard<std::mutex> lock(mutex);
-    auto it = cache.find(key);
-    if (it == cache.end())
-        it = cache.emplace(key, generate()).first;
-    return it->second;
+    static Memo<DatasetKey, signal::Dataset> cache;
+    return cache.getOrCreate(key, generate);
 }
 
 signal::Dataset

@@ -61,7 +61,7 @@ class SequencerSim
                          double max_hours);
 
     SequencingParams params_;
-    std::uint64_t seed_;
+    std::uint64_t seed_ = 0;
 };
 
 } // namespace sf::readuntil

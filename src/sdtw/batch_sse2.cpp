@@ -38,7 +38,7 @@ struct Sse2Ops
     }
     static Vec loadDwell(const std::uint8_t *p)
     {
-        std::uint32_t bits;
+        std::uint32_t bits = 0;
         std::memcpy(&bits, p, 4);
         __m128i x = _mm_cvtsi32_si128(int(bits));
         x = _mm_unpacklo_epi8(x, _mm_setzero_si128());

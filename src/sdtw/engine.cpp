@@ -152,12 +152,9 @@ foldRow(Sample q, const Sample *SF_RESTRICT ref, std::size_t m,
             }
             const CostT vert = row[j];
 
-            CostT best;
-            std::uint8_t dwell;
-            if (diag <= vert) {
-                best = diag;
-                dwell = 1;
-            } else {
+            CostT best = diag;
+            std::uint8_t dwell = 1;
+            if (vert < diag) {
                 best = vert;
                 dwell = std::uint8_t(std::min<int>(dw[j] + 1, cap));
             }

@@ -35,9 +35,9 @@ class Adc
     double maxPa() const { return maxPa_; }
 
   private:
-    double minPa_;
-    double maxPa_;
-    double scale_; //!< codes per picoamp
+    double minPa_ = 0.0;
+    double maxPa_ = 0.0;
+    double scale_ = 0.0; //!< codes per picoamp
 };
 
 } // namespace sf::signal

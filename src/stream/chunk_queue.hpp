@@ -53,6 +53,10 @@ class BoundedQueue
         if (closed_)
             return false;
         items_.push_back(std::move(item));
+        if (items_.size() > capacity_)
+            panic("BoundedQueue overfilled: %zu items in a queue of "
+                  "capacity %zu (lost wakeup or predicate bug)",
+                  items_.size(), capacity_);
         lock.unlock();
         notEmpty_.notify_one();
         return true;
@@ -127,7 +131,7 @@ class BoundedQueue
     std::condition_variable notFull_;
     std::condition_variable notEmpty_;
     std::deque<T> items_;
-    std::size_t capacity_;
+    std::size_t capacity_ = 0;
     bool closed_ = false;
 };
 

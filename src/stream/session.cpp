@@ -115,6 +115,24 @@ ReadUntilSession::run(std::span<const signal::ReadRecord> reads) const
         channels[c].rng = Rng::derive(config_.seed, c);
 
     // ---- worker pool: real threads doing the real sDTW compute ----
+    //
+    // Completion protocol — the happens-before chain TSan audits:
+    //   1. main: ready[c] = 0 under completion_mutex, then
+    //      queue.push(request)            (queue mutex orders 1 -> 2)
+    //   2. worker: pops the request, mutates channels[c].stream
+    //      WITHOUT a lock — safe because at most one request per
+    //      channel is ever in flight (ch.inFlight gating + the
+    //      backlog buffer), so the worker has exclusive ownership of
+    //      that stream between pop and completion;
+    //   3. worker: ready[c] = 1 under completion_mutex, notify
+    //      (mutex release orders the stream writes before 4)
+    //   4. main: DecisionApply waits on completion_cv for
+    //      ready[c] != 0 under completion_mutex, then reads
+    //      channels[c].stream.
+    // The epoch guard makes events for finished reads no-ops, and
+    // the exclusive-ownership invariant of step 2 is asserted below
+    // (duplicate in-flight requests panic instead of corrupting a
+    // fold).
     BoundedQueue<DecisionRequest> queue(config_.queueCapacity);
     std::mutex completion_mutex;
     std::condition_variable completion_cv;
@@ -139,6 +157,17 @@ ReadUntilSession::run(std::span<const signal::ReadRecord> reads) const
             std::vector<DecisionRequest> batch;
             std::vector<sdtw::StreamFeed> feeds;
             while (queue.popBatch(batch, config_.dispatchBatch)) {
+                // Exclusive-ownership invariant: a dispatch may carry
+                // at most one request per channel, else two lanes
+                // would alias one ClassifierStream mid-fold.  O(B^2)
+                // over a <= dispatchBatch-sized pull is noise next to
+                // the sDTW work it guards.
+                for (std::size_t i = 0; i < batch.size(); ++i)
+                    for (std::size_t j = i + 1; j < batch.size(); ++j)
+                        if (batch[i].channel == batch[j].channel)
+                            panic("duplicate in-flight decision "
+                                  "request for channel %d",
+                                  batch[i].channel);
                 if (config_.laneBatching) {
                     feeds.clear();
                     for (const DecisionRequest &req : batch) {
@@ -151,6 +180,12 @@ ReadUntilSession::run(std::span<const signal::ReadRecord> reads) const
                     {
                         std::lock_guard lock(completion_mutex);
                         for (const DecisionRequest &req : batch) {
+                            if (ready[std::size_t(req.channel)] != 0)
+                                panic("double completion for channel "
+                                      "%d: a second request was "
+                                      "submitted before DecisionApply "
+                                      "consumed the first",
+                                      req.channel);
                             ready[std::size_t(req.channel)] = 1;
                             latencies_us.push_back(
                                 std::chrono::duration<double,
@@ -173,6 +208,12 @@ ReadUntilSession::run(std::span<const signal::ReadRecord> reads) const
                                 .count();
                         {
                             std::lock_guard lock(completion_mutex);
+                            if (ready[std::size_t(req.channel)] != 0)
+                                panic("double completion for channel "
+                                      "%d: a second request was "
+                                      "submitted before DecisionApply "
+                                      "consumed the first",
+                                      req.channel);
                             ready[std::size_t(req.channel)] = 1;
                             latencies_us.push_back(us);
                         }
