@@ -14,6 +14,20 @@
 #    fails when chunks/s regresses the same way against
 #    BENCH_stream.json, or when the checkpointed-DP work advantage
 #    falls below 5x.
+# 3. Runs bench_fleet (N sessions on one shared worker pool vs the
+#    same sessions isolated) and fails when
+#    - aggregate fleet chunks/s drops more than the margin below
+#      BENCH_fleet.json,
+#    - the worst per-session decision p99 rises more than twice the
+#      margin above the baseline (tails are noisier than throughput;
+#      real QoS regressions move them far more than 2x margin),
+#    - the same-run fold speedup (fleet vs isolated chunks/s) falls
+#      below the 1.2x acceptance floor (enforced on avx2/avx512 hosts,
+#      scaled by the margin like the batched/serial ratio above),
+#    - fleet SIMD lane occupancy fails to beat the isolated sessions'
+#      occupancy (the whole point of cross-session folding), or
+#    - any session's fleet decision log differs from its isolated log
+#      (determinism is gated, not just benched).
 #
 # Every run writes an inspectable report to ${build_dir}/bench_gate/
 # (raw google-benchmark JSON, the measured stream line, and a rendered
@@ -22,8 +36,10 @@
 #
 # Usage:
 #   scripts/bench_gate.sh             # gate against both baselines
-#   scripts/bench_gate.sh --record    # refresh BENCH_stream.json's
-#                                     # measured block instead of gating
+#   scripts/bench_gate.sh --record    # refresh the measured blocks of
+#                                     # BENCH_stream.json and
+#                                     # BENCH_fleet.json instead of
+#                                     # gating
 #
 # Absolute throughput is host-dependent; on shared CI runners widen
 # the margin with SF_BENCH_GATE_MARGIN rather than skipping the gate.
@@ -180,10 +196,8 @@ with open("BENCH_stream.json", "w") as f:
     f.write("\n")
 print("BENCH_stream.json measured block refreshed")
 EOF
-    exit 0
-fi
-
-python3 - "$stream_line" "$margin" <<'EOF' | tee -a "${summary}"
+else
+    python3 - "$stream_line" "$margin" <<'EOF' | tee -a "${summary}"
 import json, sys
 
 measured = json.loads(sys.argv[1])
@@ -208,6 +222,113 @@ print(f"  [inf] p50 {measured['p50_us']:.0f} us, "
       f"lane batching {measured.get('lane_batching')} "
       f"({measured.get('simd', '?')})")
 EOF
-echo "streaming session gate: green (margin ${margin}%)" |
+    echo "streaming session gate: green (margin ${margin}%)" |
+        tee -a "${summary}"
+fi
+
+# ---- 3. fleet serving gate ---------------------------------------- #
+cmake --build "${build_dir}" -j --target bench_fleet >/dev/null
+fleet_line="$({ "${build_dir}/bench_fleet" |
+    grep '^BENCH_FLEET_JSON ' |
+    sed 's/^BENCH_FLEET_JSON //'; } || true)"
+if [[ -z "${fleet_line}" ]]; then
+    echo "bench_fleet produced no BENCH_FLEET_JSON line" >&2
+    exit 1
+fi
+echo "measured fleet: ${fleet_line}" | tee -a "${summary}"
+printf '%s\n' "${fleet_line}" >"${report_dir}/fleet.json"
+
+if [[ "${record}" == "1" ]]; then
+    python3 - "$fleet_line" <<'EOF'
+import json, sys
+
+measured = json.loads(sys.argv[1])
+with open("BENCH_fleet.json") as f:
+    doc = json.load(f)
+doc["measured"] = measured
+with open("BENCH_fleet.json", "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print("BENCH_fleet.json measured block refreshed")
+EOF
+    exit 0
+fi
+
+python3 - "$fleet_line" "$margin" <<'EOF' | tee -a "${summary}"
+import json, sys
+
+measured = json.loads(sys.argv[1])
+margin = float(sys.argv[2])
+with open("BENCH_fleet.json") as f:
+    baseline = json.load(f)["measured"]
+
+failures = []
+
+# Determinism is a gate, not an observation: every session's fleet
+# decision log must be bit-identical to its isolated log.
+if not measured["logs_match"]:
+    failures.append("fleet/isolated decision logs DIFFER")
+status = "OK " if measured["logs_match"] else "FAIL"
+print(f"  [{status}] fleet decision logs bit-identical to isolated")
+
+floor = baseline["chunks_per_s"] * (1.0 - margin / 100.0)
+status = "OK " if measured["chunks_per_s"] >= floor else "FAIL"
+print(f"  [{status}] fleet chunks/s {measured['chunks_per_s']:.1f} "
+      f"(baseline {baseline['chunks_per_s']:.1f}, floor {floor:.1f})")
+if measured["chunks_per_s"] < floor:
+    failures.append("aggregate chunks/s")
+
+# Tail percentiles are far noisier than throughput: worst_p99_us is a
+# max over per-session p99s of wall-clock latencies on a loaded host,
+# and run-to-run swings of +-20% are normal where chunks/s moves <5%.
+# Give the ceiling twice the margin share — a real QoS regression
+# (starvation, queue blowup) moves the tail by 2x or more, so the
+# wider ceiling still catches it without flaking on scheduler jitter.
+ceil = baseline["worst_p99_us"] * (1.0 + 2.0 * margin / 100.0)
+status = "OK " if measured["worst_p99_us"] <= ceil else "FAIL"
+print(f"  [{status}] worst-session p99 "
+      f"{measured['worst_p99_us']/1e3:.0f} ms (baseline "
+      f"{baseline['worst_p99_us']/1e3:.0f}, ceiling {ceil/1e3:.0f})")
+if measured["worst_p99_us"] > ceil:
+    failures.append("worst-session p99")
+
+# Cross-session folding must pay for itself on wide-SIMD hosts: the
+# same-run fleet/isolated chunks/s ratio carries the 1.2x acceptance
+# floor.  Like the batched/serial ratio in the kernel gate, the floor
+# scales with the margin (heterogeneous shared CI runners), and is
+# skipped where the serial cutover keeps batching out of play anyway.
+if measured.get("lane_batching") and \
+        measured.get("simd") in ("avx2", "avx512"):
+    floor_ratio = 1.2 * (1.0 - margin / 100.0)
+    ratio = measured["fold_speedup"]
+    status = "OK " if ratio >= floor_ratio else "FAIL"
+    print(f"  [{status}] fleet/isolated fold speedup {ratio:.2f}x "
+          f"(floor {floor_ratio:.2f})")
+    if ratio < floor_ratio:
+        failures.append("fold speedup")
+
+    # Same-run occupancy comparison: pooling exists to raise SIMD
+    # lane occupancy, so the fleet must beat its own isolated runs.
+    occ = measured["lane_occupancy"]
+    iso = measured["isolated_occupancy"]
+    status = "OK " if occ > iso else "FAIL"
+    print(f"  [{status}] lane occupancy {occ:.3f} fleet vs "
+          f"{iso:.3f} isolated")
+    if occ <= iso:
+        failures.append("lane occupancy")
+else:
+    print(f"  [inf] fold-speedup/occupancy floors skipped "
+          f"(simd={measured.get('simd', '?')}, lane batching "
+          f"{measured.get('lane_batching')})")
+
+print(f"  [inf] mean batch {measured['mean_batch']:.1f} req/dispatch, "
+      f"stat dispatch share {measured['stat_share']:.2f}, "
+      f"{measured['sessions']} sessions x {measured['workers']} "
+      f"worker(s)")
+
+if failures:
+    sys.exit("fleet gate failed on: " + ", ".join(failures))
+EOF
+echo "fleet serving gate: green (margin ${margin}%)" |
     tee -a "${summary}"
 echo "bench gate report written to ${report_dir}" | tee -a "${summary}"

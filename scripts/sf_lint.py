@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lint for invariants no generic tool knows.
 
-Four rules, each encoding a correctness contract of this codebase:
+Five rules, each encoding a correctness contract of this codebase:
 
   simd-backend-integrity   Every SIMD backend TU (src/sdtw/
                            batch_{sse2,avx2,avx512}.cpp) keeps its
@@ -14,13 +14,23 @@ Four rules, each encoding a correctness contract of this codebase:
   concurrency-containment  No raw concurrency primitives
                            (std::mutex, std::thread, std::atomic,
                            std::condition_variable, ...) outside
-                           src/common/ and src/stream/.  Everything
-                           else must go through the sanctioned
-                           wrappers (parallelFor, Memo, BoundedQueue)
-                           so the TSan-audited surface stays small.
+                           src/common/, src/stream/ and src/fleet/.
+                           Everything else must go through the
+                           sanctioned wrappers (parallelFor, Memo,
+                           BoundedQueue) so the TSan-audited surface
+                           stays small.
                            std::thread::hardware_concurrency() is
                            allowed anywhere: it is a query, not a
                            primitive.
+
+  fleet-wait-discipline    src/fleet/ may use concurrency primitives,
+                           but every blocking condition_variable wait
+                           there must be woken by close()/shutdown:
+                           its predicate has to consult the closed/
+                           shutdown flag (or the wait must carry a
+                           deadline via wait_for/wait_until).  A wait
+                           without a close edge can deadlock fleet
+                           teardown when a session stops mid-load.
 
   quantized-hot-path-purity  The quantized sDTW hot path (the lane-
                            batched kernel TUs) must stay integer-only:
@@ -181,7 +191,7 @@ def rule_simd_backend_integrity(root: Path, findings: List[Finding]):
 # Rule: concurrency-containment                                       #
 # ------------------------------------------------------------------ #
 
-CONCURRENCY_ALLOWED_DIRS = ("src/common/", "src/stream/")
+CONCURRENCY_ALLOWED_DIRS = ("src/common/", "src/stream/", "src/fleet/")
 
 CONCURRENCY_TOKENS = re.compile(
     r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
@@ -206,9 +216,52 @@ def rule_concurrency_containment(root: Path, findings: List[Finding]):
             findings.append(
                 Finding(rule, f"{rel}:{line_of(text, m.start())}",
                         f"raw {m.group(0)} outside src/common//"
-                        "src/stream/; use the wrappers there "
-                        "(parallelFor, Memo, BoundedQueue) so the "
-                        "TSan-audited surface stays contained"))
+                        "src/stream//src/fleet/; use the wrappers "
+                        "there (parallelFor, Memo, BoundedQueue) so "
+                        "the TSan-audited surface stays contained"))
+
+
+# ------------------------------------------------------------------ #
+# Rule: fleet-wait-discipline                                         #
+# ------------------------------------------------------------------ #
+
+WAIT_CALL = re.compile(r"\.wait(_for|_until)?\s*\(")
+
+
+def _balanced_call_args(text: str, open_paren: int) -> str:
+    """Return the argument text of a call whose '(' is at open_paren."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1 : i]
+    return text[open_paren + 1 :]
+
+
+def rule_fleet_wait_discipline(root: Path, findings: List[Finding]):
+    rule = "fleet-wait-discipline"
+    fleet = root / "src" / "fleet"
+    if not fleet.exists():
+        return
+    for path in sorted(fleet.rglob("*")):
+        if path.suffix not in (".hpp", ".cpp"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        text = strip_comments(path.read_text())
+        for m in WAIT_CALL.finditer(text):
+            if m.group(1):
+                continue  # wait_for/wait_until carry a deadline
+            args = _balanced_call_args(text, m.end() - 1)
+            if "closed" in args or "shutdown" in args:
+                continue  # predicate consults the close flag
+            findings.append(
+                Finding(rule, f"{rel}:{line_of(text, m.start())}",
+                        "blocking wait without a close()/shutdown "
+                        "wake-up in its predicate (and no deadline); "
+                        "fleet teardown could deadlock on it"))
 
 
 # ------------------------------------------------------------------ #
@@ -288,6 +341,7 @@ def rule_env_knob_docs(root: Path, findings: List[Finding]):
 RULES = [
     rule_simd_backend_integrity,
     rule_concurrency_containment,
+    rule_fleet_wait_discipline,
     rule_quantized_hot_path_purity,
     rule_env_knob_docs,
 ]

@@ -1,0 +1,302 @@
+#include "fleet/orchestrator.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "sdtw/batch.hpp"
+
+namespace sf::fleet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Append a minimally-escaped JSON string literal to @p out. */
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", unsigned(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+}
+
+void
+appendNumber(std::string &out, double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out += buf;
+}
+
+void
+appendNumber(std::string &out, std::uint64_t v)
+{
+    out += std::to_string(v);
+}
+
+} // namespace
+
+std::string
+FleetSnapshot::toJson() const
+{
+    std::string j = "{\"wall_seconds\":";
+    appendNumber(j, wallSeconds);
+    j += ",\"chunks_emitted\":";
+    appendNumber(j, chunksEmitted);
+    j += ",\"chunks_per_sec\":";
+    appendNumber(j, chunksPerSec);
+    j += ",\"dispatches\":";
+    appendNumber(j, dispatches);
+    j += ",\"dispatched_requests\":";
+    appendNumber(j, dispatchedRequests);
+    j += ",\"mean_batch\":";
+    appendNumber(j, meanBatchSize);
+    j += ",\"lane_jobs\":";
+    appendNumber(j, laneJobs);
+    j += ",\"lane_slots\":";
+    appendNumber(j, laneSlots);
+    j += ",\"lane_occupancy\":";
+    appendNumber(j, laneOccupancy);
+    j += ",\"dispatches_by_class\":{";
+    for (std::size_t c = 0; c < kQosClasses; ++c) {
+        if (c != 0)
+            j += ',';
+        appendJsonString(j, qosClassName(QosClass(c)));
+        j += ':';
+        appendNumber(j, dispatchesByClass[c]);
+    }
+    j += "},\"sessions\":[";
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+        const SessionSnapshot &s = sessions[i];
+        if (i != 0)
+            j += ',';
+        j += "{\"name\":";
+        appendJsonString(j, s.name);
+        j += ",\"qos\":";
+        appendJsonString(j, qosClassName(s.qos));
+        j += ",\"queue_depth\":";
+        appendNumber(j, std::uint64_t(s.queueDepth));
+        j += ",\"chunks_emitted\":";
+        appendNumber(j, s.chunksEmitted);
+        j += ",\"decisions\":";
+        appendNumber(j, s.decisions);
+        j += ",\"finished\":";
+        j += s.finished ? "true" : "false";
+        j += '}';
+    }
+    j += "]}";
+    return j;
+}
+
+FleetOrchestrator::FleetOrchestrator(FleetConfig config)
+    : config_(config),
+      queue_(config.queueCapacity, config.statBurst)
+{
+    if (config_.workers == 0)
+        config_.workers =
+            std::max(1u, std::thread::hardware_concurrency());
+    if (config_.dispatchBatch == 0)
+        fatal("FleetOrchestrator dispatch batch must be positive");
+}
+
+FleetOrchestrator::~FleetOrchestrator()
+{
+    // run() joins everything before returning; nothing to tear down.
+}
+
+std::uint32_t
+FleetOrchestrator::addSession(SessionSpec spec)
+{
+    if (started_.load(std::memory_order_acquire))
+        fatal("FleetOrchestrator::addSession after run() started");
+    if (spec.classifier == nullptr)
+        fatal("FleetOrchestrator session '%s' has no classifier",
+              spec.name.c_str());
+    if (!sessions_.empty()) {
+        // Cross-session dispatches share worker kernels, and one
+        // kernel serves one recurrence shape: all sessions must agree
+        // on the four kernel-affecting switches.  Reference squiggles
+        // MAY differ (folds are grouped per classifier).
+        const sdtw::SdtwConfig &a =
+            sessions_.front()->spec.classifier->config();
+        const sdtw::SdtwConfig &b = spec.classifier->config();
+        if (a.metric != b.metric ||
+            a.allowReferenceDeletion != b.allowReferenceDeletion ||
+            a.matchBonus != b.matchBonus || a.dwellCap != b.dwellCap)
+            fatal("FleetOrchestrator session '%s' disagrees with the "
+                  "fleet on kernel SdtwConfig (metric/refdel/bonus/"
+                  "dwell); fleets must be config-uniform",
+                  spec.name.c_str());
+    }
+    const std::uint32_t id =
+        queue_.registerSession(spec.qos, config_.sessionQuota);
+    sessions_.push_back(
+        std::make_unique<SessionState>(std::move(spec)));
+    if (id != std::uint32_t(sessions_.size() - 1))
+        panic("FleetOrchestrator session id drifted from queue "
+              "registration order");
+    return id;
+}
+
+bool
+FleetOrchestrator::submit(stream::DecisionRequest request)
+{
+    const std::uint32_t session = request.sessionId;
+    return queue_.push(session, std::move(request));
+}
+
+void
+FleetOrchestrator::workerMain()
+{
+    // One lane-batch kernel per worker, sized to the dispatch pull.
+    // Every fleet session shares the recurrence config (enforced in
+    // addSession), so one kernel serves requests of all of them.
+    sdtw::BatchSdtw kernel(
+        sessions_.front()->spec.classifier->config(),
+        std::max<std::size_t>(config_.dispatchBatch,
+                              sdtw::BatchSdtw::kDefaultSerialCutover));
+    sdtw::FoldStats prev;
+    std::vector<stream::DecisionRequest> batch;
+    QosClass served = QosClass::Research;
+    const auto linger =
+        std::chrono::microseconds(config_.dispatchLingerUs);
+    while (queue_.popBatch(batch, config_.dispatchBatch, &served,
+                           linger)) {
+        stream::foldDispatch(batch, kernel, config_.laneBatching);
+        dispatches_.fetch_add(1, std::memory_order_relaxed);
+        dispatchedRequests_.fetch_add(batch.size(),
+                                      std::memory_order_relaxed);
+        dispatchesByClass_[std::size_t(served)].fetch_add(
+            1, std::memory_order_relaxed);
+        // Publish lane telemetry per dispatch (not at thread exit) so
+        // a mid-run snapshot sees live occupancy.
+        const sdtw::FoldStats &fs = kernel.foldStats();
+        laneJobs_.fetch_add(fs.laneJobs - prev.laneJobs,
+                            std::memory_order_relaxed);
+        laneSlots_.fetch_add(fs.laneSlots - prev.laneSlots,
+                             std::memory_order_relaxed);
+        prev = fs;
+        batch.clear();
+    }
+}
+
+FleetResult
+FleetOrchestrator::run()
+{
+    if (sessions_.empty())
+        fatal("FleetOrchestrator::run with no sessions registered");
+    // Written before started_ is published: snapshot() only reads
+    // runStart_ after an acquire load of started_ observes true.
+    runStart_ = Clock::now();
+    if (started_.exchange(true, std::memory_order_acq_rel))
+        fatal("FleetOrchestrator::run may be called once");
+
+    std::vector<std::thread> workers;
+    workers.reserve(config_.workers);
+    for (unsigned w = 0; w < config_.workers; ++w)
+        workers.emplace_back([this] { workerMain(); });
+
+    // One driver thread per session: each runs its own virtual-time
+    // event loop and blocks (backpressure) independently.
+    std::vector<std::thread> drivers;
+    drivers.reserve(sessions_.size());
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+        SessionState &state = *sessions_[i];
+        drivers.emplace_back([this, &state, i] {
+            const stream::ReadUntilSession session(
+                *state.spec.classifier, state.spec.config);
+            state.result = session.runShared(
+                *this, state.spec.reads, std::uint32_t(i),
+                &state.live);
+        });
+    }
+    for (std::thread &driver : drivers)
+        driver.join();
+
+    // All event loops drained their in-flight requests before
+    // returning, so closing here strands no completion.
+    queue_.close();
+    for (std::thread &worker : workers)
+        worker.join();
+
+    wallSecondsFinal_.store(
+        std::chrono::duration<double>(Clock::now() - runStart_)
+            .count(),
+        std::memory_order_release);
+    finished_.store(true, std::memory_order_release);
+
+    FleetResult out;
+    out.sessions.reserve(sessions_.size());
+    for (auto &state : sessions_)
+        out.sessions.push_back(SessionOutcome{
+            state->spec.name, state->spec.qos,
+            std::move(state->result)});
+    out.snapshot = snapshot();
+    return out;
+}
+
+FleetSnapshot
+FleetOrchestrator::snapshot() const
+{
+    FleetSnapshot snap;
+    if (started_.load(std::memory_order_acquire)) {
+        snap.wallSeconds =
+            finished_.load(std::memory_order_acquire)
+                ? wallSecondsFinal_.load(std::memory_order_acquire)
+                : std::chrono::duration<double>(Clock::now() -
+                                                runStart_)
+                      .count();
+    }
+    snap.dispatches = dispatches_.load(std::memory_order_relaxed);
+    snap.dispatchedRequests =
+        dispatchedRequests_.load(std::memory_order_relaxed);
+    snap.meanBatchSize =
+        snap.dispatches > 0
+            ? double(snap.dispatchedRequests) / double(snap.dispatches)
+            : 0.0;
+    snap.laneJobs = laneJobs_.load(std::memory_order_relaxed);
+    snap.laneSlots = laneSlots_.load(std::memory_order_relaxed);
+    snap.laneOccupancy =
+        snap.laneSlots > 0
+            ? double(snap.laneJobs) / double(snap.laneSlots)
+            : 0.0;
+    for (std::size_t c = 0; c < kQosClasses; ++c)
+        snap.dispatchesByClass[c] =
+            dispatchesByClass_[c].load(std::memory_order_relaxed);
+
+    snap.sessions.reserve(sessions_.size());
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+        const SessionState &state = *sessions_[i];
+        SessionSnapshot s;
+        s.name = state.spec.name;
+        s.qos = state.spec.qos;
+        s.queueDepth = queue_.depth(std::uint32_t(i));
+        s.chunksEmitted =
+            state.live.chunksEmitted.load(std::memory_order_relaxed);
+        s.decisions =
+            state.live.decisions.load(std::memory_order_relaxed);
+        s.finished =
+            state.live.finished.load(std::memory_order_acquire);
+        snap.chunksEmitted += s.chunksEmitted;
+        snap.sessions.push_back(std::move(s));
+    }
+    snap.chunksPerSec = snap.wallSeconds > 0.0
+                            ? double(snap.chunksEmitted) /
+                                  snap.wallSeconds
+                            : 0.0;
+    return snap;
+}
+
+} // namespace sf::fleet

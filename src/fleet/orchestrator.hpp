@@ -1,0 +1,219 @@
+#ifndef SF_FLEET_ORCHESTRATOR_HPP
+#define SF_FLEET_ORCHESTRATOR_HPP
+
+/**
+ * @file
+ * Fleet orchestrator: N flowcell sessions, one shared worker pool.
+ *
+ * Each ReadUntilSession models one flowcell, but a single half-loaded
+ * flowcell rarely has enough concurrent in-flight decisions to fill a
+ * SIMD lane batch — an AVX-512 fold wants 16 live requests, and below
+ * the serial cutover the kernel drops to the scalar engine entirely.
+ * The orchestrator shards many sessions over ONE worker pool so the
+ * decision requests of different flowcells fold into the same lane
+ * batches (grouped per classifier; a same-target surveillance fleet
+ * folds full-width), recovering the SIMD throughput that isolated
+ * per-session pools leave on the table.
+ *
+ * Properties:
+ *  - determinism: a session's decision log depends only on its seed,
+ *    config and reads (virtual time) — it is bit-identical whether the
+ *    session runs alone under run() or in any fleet mix, at any worker
+ *    count, under any QoS interleaving;
+ *  - backpressure, never drops: admission control blocks a session's
+ *    capture clock (wall time only) when the shared queue is full or
+ *    the session exceeds its quota — no chunk is ever discarded;
+ *  - QoS: clinical Stat sessions preempt Research at every dispatch,
+ *    with a statBurst starvation bound for the Research class (see
+ *    QosBoundedQueue);
+ *  - observability: snapshot() is safe to call mid-run and reports
+ *    aggregate chunk throughput, per-session queue depth and progress,
+ *    SIMD lane occupancy and the per-class dispatch split, as a struct
+ *    or machine-readable JSON.
+ */
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/qos_queue.hpp"
+#include "sdtw/filter.hpp"
+#include "signal/read.hpp"
+#include "stream/decision_service.hpp"
+#include "stream/session.hpp"
+
+namespace sf::fleet {
+
+/** Shared worker-pool and admission configuration. */
+struct FleetConfig
+{
+    /** Shared classifier threads (0 = hardware concurrency). */
+    unsigned workers = 2;
+    /** Shared bounded queue capacity across all sessions. */
+    std::size_t queueCapacity = 256;
+    /** Max requests per worker pull (= max SIMD fold width used). */
+    std::size_t dispatchBatch = 16;
+    /**
+     * Admission quota: max queued requests per session (0 =
+     * unlimited, only the shared capacity throttles).  A session over
+     * quota blocks at capture time; chunks are never dropped.
+     */
+    std::size_t sessionQuota = 0;
+    /** Research starvation bound: a queued Research dispatch waits at
+        most this many consecutive Stat dispatches.  Must be >= 1. */
+    std::size_t statBurst = 4;
+    /**
+     * Batching linger: once a worker sees its first queued request it
+     * waits up to this long for the batch to fill before dispatching
+     * (0 = pop eagerly).  Sessions re-queue within microseconds of a
+     * completed dispatch; without the linger a worker shreds those
+     * co-arriving requests into ragged sub-width serial folds.  Pure
+     * wall-clock tuning — decision logs are unaffected.
+     */
+    std::size_t dispatchLingerUs = 250;
+    /** Fold cross-session dispatches as SIMD lane batches. */
+    bool laneBatching = true;
+};
+
+/** One flowcell session to shard onto the shared pool. */
+struct SessionSpec
+{
+    std::string name; //!< stable identifier for snapshots/results
+    /** Calibrated classifier; must outlive the orchestrator.  All
+        sessions of a fleet must agree on the four kernel-affecting
+        SdtwConfig switches (metric, reference deletion, match bonus,
+        dwell cap) — addSession() fatals otherwise. */
+    const sdtw::SquiggleFilterClassifier *classifier = nullptr;
+    /** Flowcell parameters.  workers/queueCapacity/dispatchBatch/
+        laneBatching are the fleet's concern and ignored here. */
+    stream::SessionConfig config;
+    QosClass qos = QosClass::Research;
+    /** Reads this flowcell sequences; must outlive run(). */
+    std::span<const signal::ReadRecord> reads;
+};
+
+/** Mid-run view of one session. */
+struct SessionSnapshot
+{
+    std::string name;
+    QosClass qos = QosClass::Research;
+    std::size_t queueDepth = 0;        //!< requests queued right now
+    std::uint64_t chunksEmitted = 0;
+    std::uint64_t decisions = 0;
+    bool finished = false;
+};
+
+/** Machine-readable live view of the whole fleet. */
+struct FleetSnapshot
+{
+    double wallSeconds = 0.0;          //!< since run() started
+    std::uint64_t chunksEmitted = 0;   //!< across all sessions
+    double chunksPerSec = 0.0;         //!< aggregate sustained rate
+    std::uint64_t dispatches = 0;      //!< worker batch pulls
+    std::uint64_t dispatchedRequests = 0;
+    double meanBatchSize = 0.0;
+    /** SIMD lane telemetry: laneJobs/laneSlots = occupancy in [0,1];
+        serial-engine folds count 1/width per lane slot burned. */
+    std::uint64_t laneJobs = 0;
+    std::uint64_t laneSlots = 0;
+    double laneOccupancy = 0.0;
+    /** Dispatches served per QoS class (index = QosClass). */
+    std::array<std::uint64_t, kQosClasses> dispatchesByClass{};
+    std::vector<SessionSnapshot> sessions;
+
+    /** One-line JSON rendering (schema documented in the README). */
+    std::string toJson() const;
+};
+
+/** Outcome of one session after run() returns. */
+struct SessionOutcome
+{
+    std::string name;
+    QosClass qos = QosClass::Research;
+    stream::SessionResult result;
+};
+
+/** Outcome of the whole fleet run. */
+struct FleetResult
+{
+    std::vector<SessionOutcome> sessions; //!< in addSession() order
+    FleetSnapshot snapshot;               //!< final aggregate view
+};
+
+/**
+ * Runs N registered sessions over one shared QoS-aware worker pool.
+ * Usage: construct, addSession() each flowcell, run() once.
+ * snapshot() may be called from any thread while run() is in flight.
+ */
+class FleetOrchestrator final : public stream::DecisionService
+{
+  public:
+    explicit FleetOrchestrator(FleetConfig config);
+    ~FleetOrchestrator() override;
+
+    FleetOrchestrator(const FleetOrchestrator &) = delete;
+    FleetOrchestrator &operator=(const FleetOrchestrator &) = delete;
+
+    /**
+     * Register a flowcell; returns its session id.  Fatals on a null
+     * classifier, on kernel-config disagreement with the sessions
+     * already registered, or after run() has started.
+     */
+    std::uint32_t addSession(SessionSpec spec);
+
+    /**
+     * Run every registered session to completion over the shared pool
+     * and return the per-session results (decision logs bit-identical
+     * to standalone ReadUntilSession::run()) plus the final snapshot.
+     * May be called once.
+     */
+    FleetResult run();
+
+    /** Live aggregate view; safe to call concurrently with run(). */
+    FleetSnapshot snapshot() const;
+
+    /** DecisionService: called by the sessions' event loops. */
+    bool submit(stream::DecisionRequest request) override;
+
+    /** The configuration in effect. */
+    const FleetConfig &config() const { return config_; }
+
+  private:
+    struct SessionState
+    {
+        SessionSpec spec;
+        stream::SessionLiveCounters live;
+        stream::SessionResult result;
+
+        explicit SessionState(SessionSpec s) : spec(std::move(s)) {}
+    };
+
+    void workerMain();
+
+    FleetConfig config_;
+    QosBoundedQueue<stream::DecisionRequest> queue_;
+    std::vector<std::unique_ptr<SessionState>> sessions_;
+
+    std::atomic<bool> started_{false};
+    std::atomic<bool> finished_{false};
+    std::chrono::steady_clock::time_point runStart_{};
+
+    // Pool-level telemetry, updated per dispatch by the workers.
+    std::atomic<std::uint64_t> dispatches_{0};
+    std::atomic<std::uint64_t> dispatchedRequests_{0};
+    std::array<std::atomic<std::uint64_t>, kQosClasses>
+        dispatchesByClass_{};
+    std::atomic<std::uint64_t> laneJobs_{0};
+    std::atomic<std::uint64_t> laneSlots_{0};
+    std::atomic<double> wallSecondsFinal_{0.0};
+};
+
+} // namespace sf::fleet
+
+#endif // SF_FLEET_ORCHESTRATOR_HPP

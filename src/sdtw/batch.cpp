@@ -260,12 +260,20 @@ BatchSdtw::processMany(std::span<BatchLane> lanes,
     validate(lanes, reference);
     if (lanes.size() < std::max<std::size_t>(serialCutover_, 1)) {
         // Tiny batches: the serial engine (vectorised along the
-        // reference) wastes no lanes.  Results are identical.
+        // reference) wastes no lanes.  Results are identical.  For
+        // the occupancy accounting a serial fold of b jobs on a
+        // W-lane machine uses 1/W of the width it could have.
+        foldStats_.serialCalls += 1;
+        foldStats_.laneJobs += lanes.size();
+        foldStats_.laneSlots += lanes.size() * width_;
         for (BatchLane &lane : lanes)
             lane.result =
                 engine_.process(lane.query, reference, *lane.state);
         return;
     }
+    foldStats_.batchedCalls += 1;
+    foldStats_.laneJobs += lanes.size();
+    foldStats_.laneSlots += ((lanes.size() + width_ - 1) / width_) * width_;
     runBatched(lanes, reference);
 }
 

@@ -79,6 +79,25 @@ struct BatchLane
 };
 
 /**
+ * SIMD-slot utilisation counters, accumulated across processMany()
+ * calls.  A call with b jobs on a W-lane backend pays for
+ * roundup(b, W) vector slots when it takes the batched path, and for
+ * b * W slots when it falls below the serial cutover (a W-wide
+ * machine folding one read at a time uses 1/W of its lanes).  The
+ * ratio laneJobs/laneSlots is therefore the fraction of the SIMD
+ * width doing useful work — the "lane occupancy" the fleet stats
+ * snapshot and BENCH_fleet.json report.  Counters are plain integers
+ * (the hot path stays float-free); divide outside the kernel.
+ */
+struct FoldStats
+{
+    std::uint64_t batchedCalls = 0; //!< processMany calls folded wide
+    std::uint64_t serialCalls = 0;  //!< calls below the serial cutover
+    std::uint64_t laneJobs = 0;     //!< lanes that carried a real read
+    std::uint64_t laneSlots = 0;    //!< vector slots paid for them
+};
+
+/**
  * Lane-batched quantised sDTW kernel.
  *
  * Holds the interleaved DP scratch, so one instance should live per
@@ -131,6 +150,8 @@ class BatchSdtw
     std::size_t laneWidth() const { return width_; }
     /** Maximum lanes in flight (rounded up to a laneWidth multiple). */
     std::size_t laneCapacity() const { return capacity_; }
+    /** Cumulative SIMD-slot utilisation since construction. */
+    const FoldStats &foldStats() const { return foldStats_; }
 
   private:
     void validate(std::span<BatchLane> lanes,
@@ -143,6 +164,7 @@ class BatchSdtw
     std::size_t width_ = 1;
     std::size_t capacity_ = kDefaultLaneCapacity;
     std::size_t serialCutover_ = kDefaultSerialCutover;
+    FoldStats foldStats_{};
     Cost bonusUnit_ = 0;
     detail::FoldRowFns fold_{};
 

@@ -1,0 +1,80 @@
+#include "stream/decision_service.hpp"
+
+#include "sdtw/batch.hpp"
+
+namespace sf::stream {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+microsSince(Clock::time_point start, Clock::time_point end)
+{
+    return std::chrono::duration<double, std::micro>(end - start)
+        .count();
+}
+
+} // namespace
+
+void
+foldDispatch(std::vector<DecisionRequest> &batch, sdtw::BatchSdtw &kernel,
+             bool lane_batching)
+{
+    // Exclusive-ownership invariant: a dispatch may carry at most one
+    // request per (board, slot), else two lanes would alias one
+    // ClassifierStream mid-fold.  O(B^2) over a dispatch-sized pull
+    // is noise next to the sDTW work it guards.
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        for (std::size_t j = i + 1; j < batch.size(); ++j)
+            if (batch[i].board == batch[j].board &&
+                batch[i].slot == batch[j].slot)
+                panic("duplicate in-flight decision request for "
+                      "session %u slot %zu",
+                      batch[i].sessionId, batch[i].slot);
+
+    if (!lane_batching) {
+        for (DecisionRequest &req : batch) {
+            const sdtw::SquiggleFilterClassifier &cls = *req.classifier;
+            cls.feedChunk(*req.stream, req.samples);
+            if (req.endOfRead)
+                cls.finishStream(*req.stream);
+            req.board->complete(
+                req.slot, microsSince(req.enqueued, Clock::now()));
+        }
+        return;
+    }
+
+    // Group by classifier: feeds folded together must share one
+    // reference squiggle.  A same-target fleet (the surveillance
+    // case) groups into a single full-width batch; mixed-target
+    // fleets fold one batch per classifier.  Group order follows
+    // dispatch order, so same-classifier requests keep their queue
+    // order inside the batch.
+    std::vector<std::uint8_t> grouped(batch.size(), 0);
+    std::vector<sdtw::StreamFeed> feeds;
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (grouped[i] != 0)
+            continue;
+        const sdtw::SquiggleFilterClassifier *cls = batch[i].classifier;
+        feeds.clear();
+        members.clear();
+        for (std::size_t j = i; j < batch.size(); ++j) {
+            if (grouped[j] != 0 || batch[j].classifier != cls)
+                continue;
+            grouped[j] = 1;
+            members.push_back(j);
+            feeds.push_back(sdtw::StreamFeed{batch[j].stream,
+                                             batch[j].samples,
+                                             batch[j].endOfRead});
+        }
+        cls->feedChunkBatch(feeds, kernel);
+        const auto done = Clock::now();
+        for (std::size_t j : members)
+            batch[j].board->complete(
+                batch[j].slot, microsSince(batch[j].enqueued, done));
+    }
+}
+
+} // namespace sf::stream

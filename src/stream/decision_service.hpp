@@ -1,0 +1,167 @@
+#ifndef SF_STREAM_DECISION_SERVICE_HPP
+#define SF_STREAM_DECISION_SERVICE_HPP
+
+/**
+ * @file
+ * The seam between a Read Until session's virtual-time event loop and
+ * whatever executes its sDTW decision requests.
+ *
+ * ReadUntilSession::run() owns a private worker pool;
+ * fleet::FleetOrchestrator shards many sessions over one shared pool.
+ * Both meet at DecisionService: the event loop submits
+ * DecisionRequests — submit() blocks under backpressure, so an
+ * outrunning session is throttled at capture time and chunks are
+ * never dropped — and awaits completion on its session-owned
+ * CompletionBoard, while the worker side folds each dispatch's
+ * requests as SIMD lane batches with foldDispatch().
+ */
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/types.hpp"
+#include "sdtw/filter.hpp"
+
+namespace sf::sdtw {
+class BatchSdtw;
+}
+
+namespace sf::stream {
+
+/**
+ * Per-session completion rendezvous: one slot per channel.  The event
+ * loop marks a slot pending before submitting, a worker completes it
+ * after folding the request's stream, and the event loop awaits it at
+ * DecisionApply time.  The mutex edge is what publishes the worker's
+ * ClassifierStream writes to the event loop (see the protocol comment
+ * in session.cpp); the at-most-one-request-per-slot invariant is
+ * asserted — a double completion panics instead of corrupting a fold.
+ */
+class CompletionBoard
+{
+  public:
+    explicit CompletionBoard(std::size_t slots) : ready_(slots, 1)
+    {
+        latenciesUs_.reserve(slots * 8);
+    }
+
+    CompletionBoard(const CompletionBoard &) = delete;
+    CompletionBoard &operator=(const CompletionBoard &) = delete;
+
+    /** Arm @p slot before submitting its request (event-loop side). */
+    void
+    markPending(std::size_t slot)
+    {
+        std::lock_guard lock(mutex_);
+        ready_[slot] = 0;
+    }
+
+    /** Complete @p slot, recording its wall latency (worker side). */
+    void
+    complete(std::size_t slot, double latency_us)
+    {
+        std::lock_guard lock(mutex_);
+        if (ready_[slot] != 0)
+            panic("double completion for slot %zu: a second "
+                  "request was submitted before DecisionApply "
+                  "consumed the first",
+                  slot);
+        ready_[slot] = 1;
+        latenciesUs_.push_back(latency_us);
+        // Notify UNDER the mutex: the board lives on the event loop's
+        // stack and is destroyed as soon as the final await() returns,
+        // so the woken waiter must not be able to get past the mutex
+        // until this thread is fully out of the condition variable.
+        cv_.notify_all();
+    }
+
+    /** Block until @p slot's in-flight request completed. */
+    void
+    await(std::size_t slot)
+    {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [&] { return ready_[slot] != 0; });
+    }
+
+    /** Drain the recorded per-decision latencies (microseconds). */
+    std::vector<double>
+    takeLatencies()
+    {
+        std::lock_guard lock(mutex_);
+        return std::move(latenciesUs_);
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<std::uint8_t> ready_;
+    std::vector<double> latenciesUs_;
+};
+
+/** Unit of work a session's event loop hands to the worker side. */
+struct DecisionRequest
+{
+    sdtw::ClassifierStream *stream = nullptr;
+    /** Classifier that owns the stream; cross-session dispatches group
+        feeds by classifier so each fold targets one reference. */
+    const sdtw::SquiggleFilterClassifier *classifier = nullptr;
+    std::vector<RawSample> samples;
+    bool endOfRead = false;
+    CompletionBoard *board = nullptr;
+    std::size_t slot = 0;        //!< channel index within the board
+    std::uint32_t sessionId = 0; //!< admission bookkeeping (fleet)
+    std::chrono::steady_clock::time_point enqueued{};
+};
+
+/**
+ * Live counters a session ticks while its event loop runs, so an
+ * orchestrator's stats snapshot can report per-session progress
+ * mid-run without waiting for the SessionResult.
+ */
+struct SessionLiveCounters
+{
+    std::atomic<std::uint64_t> chunksEmitted{0};
+    std::atomic<std::uint64_t> decisions{0};
+    std::atomic<bool> finished{false};
+};
+
+/** Executes decision requests on behalf of one or many sessions. */
+class DecisionService
+{
+  public:
+    virtual ~DecisionService() = default;
+
+    /**
+     * Enqueue @p request for the worker side.  Blocks while the
+     * service applies backpressure (queue full, admission quota
+     * exhausted) — the caller's capture clock stalls rather than any
+     * chunk being dropped.  Returns false only when the service has
+     * been shut down; no completion will arrive in that case.
+     */
+    virtual bool submit(DecisionRequest request) = 0;
+};
+
+/**
+ * Fold one dispatch's requests and complete them on their boards.
+ *
+ * With @p lane_batching the requests are grouped by classifier (a
+ * fleet dispatch may span sessions filtering different references)
+ * and each group advances as one SIMD lane batch through @p kernel;
+ * otherwise every request folds serially.  Decisions are bit-identical
+ * either way.  A dispatch may carry at most one request per
+ * (board, slot) pair — two lanes aliasing one ClassifierStream
+ * mid-fold would corrupt it, so duplicates panic.
+ */
+void foldDispatch(std::vector<DecisionRequest> &batch,
+                  sdtw::BatchSdtw &kernel, bool lane_batching);
+
+} // namespace sf::stream
+
+#endif // SF_STREAM_DECISION_SERVICE_HPP

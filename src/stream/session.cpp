@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -12,6 +11,7 @@
 #include "sdtw/batch.hpp"
 #include "signal/chunk_source.hpp"
 #include "stream/chunk_queue.hpp"
+#include "stream/decision_service.hpp"
 
 namespace sf::stream {
 
@@ -51,15 +51,6 @@ struct EventAfter
     }
 };
 
-/** Unit of work pulled by the classifier workers. */
-struct DecisionRequest
-{
-    int channel = -1;
-    std::vector<RawSample> samples;
-    bool endOfRead = false;
-    Clock::time_point enqueued{};
-};
-
 /** Per-pore state machine. */
 struct Channel
 {
@@ -79,156 +70,135 @@ struct Channel
     Rng rng; //!< derived from the session seed and channel index
 };
 
-} // namespace
-
-ReadUntilSession::ReadUntilSession(
-    const sdtw::SquiggleFilterClassifier &classifier,
-    SessionConfig config)
-    : classifier_(classifier), config_(config)
+/**
+ * The session-private worker pool behind ReadUntilSession::run():
+ * a bounded MPMC queue plus real classifier threads, each folding its
+ * dispatch pulls as SIMD lane batches via the shared foldDispatch().
+ * The fleet orchestrator implements the same DecisionService seam
+ * over a QoS-aware shared queue — the event loop cannot tell them
+ * apart, which is what keeps the decision log identical between
+ * run() and runShared().
+ */
+class LocalDecisionService final : public DecisionService
 {
-    if (config_.channels <= 0)
-        fatal("ReadUntilSession needs at least one channel");
-    if (config_.chunkSamples() == 0)
-        fatal("ReadUntilSession chunk must cover at least one sample");
-    if (config_.sampleRateHz <= 0.0)
-        fatal("ReadUntilSession sample rate must be positive");
-    if (config_.workers == 0)
-        config_.workers = std::max(1u, std::thread::hardware_concurrency());
-    if (config_.queueCapacity == 0 || config_.dispatchBatch == 0)
-        fatal("ReadUntilSession queue capacity and dispatch batch must "
-              "be positive");
-}
+  public:
+    LocalDecisionService(const sdtw::SdtwConfig &kernel_config,
+                         const SessionConfig &config)
+        : queue_(config.queueCapacity)
+    {
+        workers_.reserve(config.workers);
+        for (unsigned w = 0; w < config.workers; ++w) {
+            workers_.emplace_back([this, kernel_config, config]() {
+                // Each worker owns a lane-batch kernel sized to its
+                // dispatch pull, so one pull's cross-channel requests
+                // fold as one SIMD batch.  The serial path is kept
+                // for A/B measurement; decisions are bit-identical.
+                sdtw::BatchSdtw kernel(
+                    kernel_config,
+                    std::max<std::size_t>(
+                        config.dispatchBatch,
+                        sdtw::BatchSdtw::kDefaultSerialCutover));
+                std::vector<DecisionRequest> batch;
+                while (queue_.popBatch(batch, config.dispatchBatch)) {
+                    foldDispatch(batch, kernel, config.laneBatching);
+                    {
+                        std::lock_guard lock(statsMutex_);
+                        ++dispatches_;
+                        dispatchedRequests_ += batch.size();
+                    }
+                    batch.clear();
+                }
+                std::lock_guard lock(statsMutex_);
+                const auto &fs = kernel.foldStats();
+                laneJobs_ += fs.laneJobs;
+                laneSlots_ += fs.laneSlots;
+            });
+        }
+    }
 
+    ~LocalDecisionService() override { shutdown(); }
+
+    bool
+    submit(DecisionRequest request) override
+    {
+        return queue_.push(std::move(request)); // blocks when full
+    }
+
+    /** Close the queue and join the workers (idempotent). */
+    void
+    shutdown()
+    {
+        queue_.close();
+        for (std::thread &worker : workers_)
+            if (worker.joinable())
+                worker.join();
+    }
+
+    std::uint64_t dispatches() const { return dispatches_; }
+
+    double
+    meanBatchSize() const
+    {
+        return dispatches_ > 0
+                   ? double(dispatchedRequests_) / double(dispatches_)
+                   : 0.0;
+    }
+
+  private:
+    BoundedQueue<DecisionRequest> queue_;
+    std::vector<std::thread> workers_;
+    std::mutex statsMutex_;
+    std::uint64_t dispatches_ = 0;
+    std::uint64_t dispatchedRequests_ = 0;
+    std::uint64_t laneJobs_ = 0;
+    std::uint64_t laneSlots_ = 0;
+};
+
+/**
+ * The virtual-time flowcell event loop, shared by run() (private
+ * pool) and runShared() (fleet pool).
+ *
+ * Completion protocol — the happens-before chain TSan audits:
+ *   1. event loop: board.markPending(c) (slot armed under the board
+ *      mutex), then service.submit(request) (the queue mutex orders
+ *      1 -> 2)
+ *   2. worker: pops the request and mutates channels[c].stream
+ *      WITHOUT a lock — safe because at most one request per channel
+ *      is ever in flight (ch.inFlight gating + the backlog buffer),
+ *      so the worker has exclusive ownership of that stream between
+ *      pop and completion;
+ *   3. worker: board.complete(c) (board mutex release orders the
+ *      stream writes before 4)
+ *   4. event loop: DecisionApply calls board.await(c), then reads
+ *      channels[c].stream.
+ * The epoch guard makes events for finished reads no-ops, and the
+ * exclusive-ownership invariant of step 2 is asserted (duplicate
+ * in-flight requests and double completions panic instead of
+ * corrupting a fold — see foldDispatch and CompletionBoard).
+ */
 SessionResult
-ReadUntilSession::run(std::span<const signal::ReadRecord> reads) const
+runEventLoop(const sdtw::SquiggleFilterClassifier &classifier,
+             const SessionConfig &config,
+             std::span<const signal::ReadRecord> reads,
+             DecisionService &service, std::uint32_t session_id,
+             SessionLiveCounters *live)
 {
-    const std::size_t chunk_samples = config_.chunkSamples();
-    const double rate = config_.sampleRateHz;
+    const std::size_t chunk_samples = config.chunkSamples();
+    const double rate = config.sampleRateHz;
 
     SessionResult out;
     SessionStats &stats = out.stats;
-    if (reads.empty())
+    if (reads.empty()) {
+        if (live != nullptr)
+            live->finished.store(true, std::memory_order_release);
         return out;
-
-    std::vector<Channel> channels(std::size_t(config_.channels));
-    for (std::size_t c = 0; c < channels.size(); ++c)
-        channels[c].rng = Rng::derive(config_.seed, c);
-
-    // ---- worker pool: real threads doing the real sDTW compute ----
-    //
-    // Completion protocol — the happens-before chain TSan audits:
-    //   1. main: ready[c] = 0 under completion_mutex, then
-    //      queue.push(request)            (queue mutex orders 1 -> 2)
-    //   2. worker: pops the request, mutates channels[c].stream
-    //      WITHOUT a lock — safe because at most one request per
-    //      channel is ever in flight (ch.inFlight gating + the
-    //      backlog buffer), so the worker has exclusive ownership of
-    //      that stream between pop and completion;
-    //   3. worker: ready[c] = 1 under completion_mutex, notify
-    //      (mutex release orders the stream writes before 4)
-    //   4. main: DecisionApply waits on completion_cv for
-    //      ready[c] != 0 under completion_mutex, then reads
-    //      channels[c].stream.
-    // The epoch guard makes events for finished reads no-ops, and
-    // the exclusive-ownership invariant of step 2 is asserted below
-    // (duplicate in-flight requests panic instead of corrupting a
-    // fold).
-    BoundedQueue<DecisionRequest> queue(config_.queueCapacity);
-    std::mutex completion_mutex;
-    std::condition_variable completion_cv;
-    std::vector<std::uint8_t> ready(channels.size(), 0);
-    std::vector<double> latencies_us;
-    std::uint64_t dispatches = 0;
-    std::uint64_t dispatched_requests = 0;
-
-    std::vector<std::thread> workers;
-    workers.reserve(config_.workers);
-    for (unsigned w = 0; w < config_.workers; ++w) {
-        workers.emplace_back([&]() {
-            // Each worker owns a lane-batch kernel sized to its
-            // dispatch pull, so one pull's cross-channel requests
-            // fold as one SIMD batch.  The serial path below is kept
-            // for A/B measurement; decisions are bit-identical.
-            sdtw::BatchSdtw kernel(
-                classifier_.config(),
-                std::max<std::size_t>(config_.dispatchBatch,
-                                      sdtw::BatchSdtw::
-                                          kDefaultSerialCutover));
-            std::vector<DecisionRequest> batch;
-            std::vector<sdtw::StreamFeed> feeds;
-            while (queue.popBatch(batch, config_.dispatchBatch)) {
-                // Exclusive-ownership invariant: a dispatch may carry
-                // at most one request per channel, else two lanes
-                // would alias one ClassifierStream mid-fold.  O(B^2)
-                // over a <= dispatchBatch-sized pull is noise next to
-                // the sDTW work it guards.
-                for (std::size_t i = 0; i < batch.size(); ++i)
-                    for (std::size_t j = i + 1; j < batch.size(); ++j)
-                        if (batch[i].channel == batch[j].channel)
-                            panic("duplicate in-flight decision "
-                                  "request for channel %d",
-                                  batch[i].channel);
-                if (config_.laneBatching) {
-                    feeds.clear();
-                    for (const DecisionRequest &req : batch) {
-                        feeds.push_back(sdtw::StreamFeed{
-                            &channels[std::size_t(req.channel)].stream,
-                            req.samples, req.endOfRead});
-                    }
-                    classifier_.feedChunkBatch(feeds, kernel);
-                    const auto done = Clock::now();
-                    {
-                        std::lock_guard lock(completion_mutex);
-                        for (const DecisionRequest &req : batch) {
-                            if (ready[std::size_t(req.channel)] != 0)
-                                panic("double completion for channel "
-                                      "%d: a second request was "
-                                      "submitted before DecisionApply "
-                                      "consumed the first",
-                                      req.channel);
-                            ready[std::size_t(req.channel)] = 1;
-                            latencies_us.push_back(
-                                std::chrono::duration<double,
-                                                      std::micro>(
-                                    done - req.enqueued)
-                                    .count());
-                        }
-                    }
-                    completion_cv.notify_all();
-                } else {
-                    for (DecisionRequest &req : batch) {
-                        Channel &ch =
-                            channels[std::size_t(req.channel)];
-                        classifier_.feedChunk(ch.stream, req.samples);
-                        if (req.endOfRead)
-                            classifier_.finishStream(ch.stream);
-                        const double us =
-                            std::chrono::duration<double, std::micro>(
-                                Clock::now() - req.enqueued)
-                                .count();
-                        {
-                            std::lock_guard lock(completion_mutex);
-                            if (ready[std::size_t(req.channel)] != 0)
-                                panic("double completion for channel "
-                                      "%d: a second request was "
-                                      "submitted before DecisionApply "
-                                      "consumed the first",
-                                      req.channel);
-                            ready[std::size_t(req.channel)] = 1;
-                            latencies_us.push_back(us);
-                        }
-                        completion_cv.notify_all();
-                    }
-                }
-                {
-                    std::lock_guard lock(completion_mutex);
-                    ++dispatches;
-                    dispatched_requests += batch.size();
-                }
-                batch.clear();
-            }
-        });
     }
+
+    std::vector<Channel> channels(std::size_t(config.channels));
+    for (std::size_t c = 0; c < channels.size(); ++c)
+        channels[c].rng = Rng::derive(config.seed, c);
+
+    CompletionBoard board(channels.size());
 
     // ---- virtual-time event loop -----------------------------------
     std::priority_queue<Event, std::vector<Event>, EventAfter> events;
@@ -247,21 +217,26 @@ ReadUntilSession::run(std::span<const signal::ReadRecord> reads) const
             return;
         }
         ch.phase = Channel::Phase::Capturing;
-        schedule(t + ch.rng.exponential(config_.captureDelayMeanSec),
+        schedule(t + ch.rng.exponential(config.captureDelayMeanSec),
                  EventType::CaptureDone, c, ch.epoch);
     };
 
+    // Set when the service refuses a submit (shut down underneath
+    // us): no completion will arrive, so the loop must stop.
+    bool service_down = false;
     const auto submit = [&](int c, double t,
                             std::vector<RawSample> samples, bool end) {
         Channel &ch = channels[std::size_t(c)];
         ch.inFlight = true;
-        {
-            std::lock_guard lock(completion_mutex);
-            ready[std::size_t(c)] = 0;
+        board.markPending(std::size_t(c));
+        if (!service.submit(DecisionRequest{
+                &ch.stream, &classifier, std::move(samples), end, &board,
+                std::size_t(c), session_id, Clock::now()})) {
+            ch.inFlight = false;
+            service_down = true;
+            return;
         }
-        queue.push(DecisionRequest{c, std::move(samples), end,
-                                   Clock::now()}); // blocks when full
-        schedule(t + config_.decisionLatencySec, EventType::DecisionApply,
+        schedule(t + config.decisionLatencySec, EventType::DecisionApply,
                  c, ch.epoch);
     };
 
@@ -290,18 +265,18 @@ ReadUntilSession::run(std::span<const signal::ReadRecord> reads) const
         (r.keep ? stats.readsKept : stats.readsEjected) += 1;
     };
 
-    const double max_virtual_sec = config_.maxVirtualHours * 3600.0;
+    const double max_virtual_sec = config.maxVirtualHours * 3600.0;
     const auto wall_start = Clock::now();
-    for (int c = 0; c < config_.channels; ++c)
+    for (int c = 0; c < config.channels; ++c)
         begin_capture(c, 0.0);
 
     double now = 0.0;
-    while (!events.empty()) {
+    while (!events.empty() && !service_down) {
         const Event ev = events.top();
         events.pop();
         if (ev.t > max_virtual_sec) {
             warn("ReadUntilSession stopped at the %g h safety limit",
-                 config_.maxVirtualHours);
+                 config.maxVirtualHours);
             break;
         }
         now = ev.t;
@@ -317,7 +292,7 @@ ReadUntilSession::run(std::span<const signal::ReadRecord> reads) const
             }
             ch.read = &reads[next_read++];
             ch.source = signal::ChunkSource(*ch.read, chunk_samples);
-            ch.stream = classifier_.beginStream();
+            ch.stream = classifier.beginStream();
             ch.inFlight = false;
             ch.backlog.clear();
             ch.backlogEnd = false;
@@ -325,14 +300,14 @@ ReadUntilSession::run(std::span<const signal::ReadRecord> reads) const
             ch.phase = Channel::Phase::Sequencing;
             if (ch.read->raw.empty()) {
                 // Degenerate read: no signal, keep by convention.
-                classifier_.finishStream(ch.stream);
+                classifier.finishStream(ch.stream);
                 record_decision(ch, ev.channel, ev.t);
                 account_read(ch, 0.0);
                 ++ch.epoch;
                 begin_capture(ev.channel, ev.t);
                 break;
             }
-            schedule(ev.t + config_.chunkSeconds, EventType::ChunkDue,
+            schedule(ev.t + config.chunkSeconds, EventType::ChunkDue,
                      ev.channel, ch.epoch);
             break;
         }
@@ -340,6 +315,9 @@ ReadUntilSession::run(std::span<const signal::ReadRecord> reads) const
         case EventType::ChunkDue: {
             const auto chunk = ch.source.next();
             ++stats.chunksEmitted;
+            if (live != nullptr)
+                live->chunksEmitted.fetch_add(
+                    1, std::memory_order_relaxed);
             const bool end = ch.source.exhausted();
             if (ch.inFlight) {
                 ch.backlog.insert(ch.backlog.end(), chunk.begin(),
@@ -351,20 +329,17 @@ ReadUntilSession::run(std::span<const signal::ReadRecord> reads) const
                        end);
             }
             if (!end)
-                schedule(ev.t + config_.chunkSeconds, EventType::ChunkDue,
+                schedule(ev.t + config.chunkSeconds, EventType::ChunkDue,
                          ev.channel, ch.epoch);
             break;
         }
 
         case EventType::DecisionApply: {
-            {
-                std::unique_lock lock(completion_mutex);
-                completion_cv.wait(lock, [&] {
-                    return ready[std::size_t(ev.channel)] != 0;
-                });
-            }
+            board.await(std::size_t(ev.channel));
             ch.inFlight = false;
             ++stats.decisions;
+            if (live != nullptr)
+                live->decisions.fetch_add(1, std::memory_order_relaxed);
 
             if (!ch.stream.decided) {
                 // Intermediate snapshot: resubmit any chunks that
@@ -397,21 +372,26 @@ ReadUntilSession::run(std::span<const signal::ReadRecord> reads) const
                 const double sequenced = std::min(
                     read_samples,
                     double(ch.source.emitted()) +
-                        config_.decisionLatencySec * rate);
+                        config.decisionLatencySec * rate);
                 account_read(ch, sequenced);
                 ++ch.epoch;
                 begin_capture(ev.channel,
-                              ev.t + config_.ejectLatencySec +
-                                  config_.poreRecoverySec);
+                              ev.t + config.ejectLatencySec +
+                                  config.poreRecoverySec);
             }
             break;
         }
         }
     }
 
-    queue.close();
-    for (auto &worker : workers)
-        worker.join();
+    // Early teardown (safety limit) can leave decisions in flight:
+    // await them so no worker completes into a dead board or folds a
+    // dead stream after this frame unwinds.  The workers outlive this
+    // loop (the caller joins/owns them), so every await terminates.
+    for (std::size_t c = 0; c < channels.size(); ++c)
+        if (channels[c].inFlight)
+            board.await(c);
+
     const double wall_sec =
         std::chrono::duration<double>(Clock::now() - wall_start).count();
 
@@ -421,10 +401,7 @@ ReadUntilSession::run(std::span<const signal::ReadRecord> reads) const
     stats.wallSeconds = wall_sec;
     stats.chunksPerSec =
         wall_sec > 0.0 ? double(stats.chunksEmitted) / wall_sec : 0.0;
-    stats.dispatches = dispatches;
-    stats.meanBatchSize =
-        dispatches > 0 ? double(dispatched_requests) / double(dispatches)
-                       : 0.0;
+    const auto latencies_us = board.takeLatencies();
     if (!latencies_us.empty()) {
         stats.latency.p50us = percentile(latencies_us, 50.0);
         stats.latency.p90us = percentile(latencies_us, 90.0);
@@ -440,7 +417,61 @@ ReadUntilSession::run(std::span<const signal::ReadRecord> reads) const
             full_target_samples / full_total_samples;
         stats.enrichmentFactor = with_ru / without_ru;
     }
+    if (live != nullptr)
+        live->finished.store(true, std::memory_order_release);
     return out;
+}
+
+} // namespace
+
+ReadUntilSession::ReadUntilSession(
+    const sdtw::SquiggleFilterClassifier &classifier,
+    SessionConfig config)
+    : classifier_(classifier), config_(config)
+{
+    if (config_.channels <= 0)
+        fatal("ReadUntilSession needs at least one channel");
+    if (config_.chunkSamples() == 0)
+        fatal("ReadUntilSession chunk must cover at least one sample");
+    if (config_.sampleRateHz <= 0.0)
+        fatal("ReadUntilSession sample rate must be positive");
+    if (config_.workers == 0)
+        config_.workers = std::max(1u, std::thread::hardware_concurrency());
+    if (config_.queueCapacity == 0 || config_.dispatchBatch == 0)
+        fatal("ReadUntilSession queue capacity and dispatch batch must "
+              "be positive");
+}
+
+SessionResult
+ReadUntilSession::run(std::span<const signal::ReadRecord> reads) const
+{
+    const auto wall_start = Clock::now();
+    LocalDecisionService service(classifier_.config(), config_);
+    SessionResult out =
+        runEventLoop(classifier_, config_, reads, service,
+                     /*session_id=*/0, /*live=*/nullptr);
+    service.shutdown();
+    // Pool-level statistics, and the wall clock including the drain
+    // and join so throughput numbers stay comparable with earlier
+    // baselines of this method.
+    const double wall_sec =
+        std::chrono::duration<double>(Clock::now() - wall_start).count();
+    out.stats.wallSeconds = wall_sec;
+    out.stats.chunksPerSec =
+        wall_sec > 0.0 ? double(out.stats.chunksEmitted) / wall_sec : 0.0;
+    out.stats.dispatches = service.dispatches();
+    out.stats.meanBatchSize = service.meanBatchSize();
+    return out;
+}
+
+SessionResult
+ReadUntilSession::runShared(DecisionService &service,
+                            std::span<const signal::ReadRecord> reads,
+                            std::uint32_t session_id,
+                            SessionLiveCounters *live) const
+{
+    return runEventLoop(classifier_, config_, reads, service, session_id,
+                        live);
 }
 
 } // namespace sf::stream

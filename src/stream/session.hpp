@@ -37,6 +37,9 @@
 
 namespace sf::stream {
 
+class DecisionService;
+struct SessionLiveCounters;
+
 /** Flowcell, latency, and worker-pool configuration. */
 struct SessionConfig
 {
@@ -161,8 +164,33 @@ class ReadUntilSession
      */
     SessionResult run(std::span<const signal::ReadRecord> reads) const;
 
+    /**
+     * Run the same flowcell against an external decision service — a
+     * shared fleet worker pool — instead of a private one.
+     * config().workers, queueCapacity, dispatchBatch and laneBatching
+     * are the service's concern and ignored here; the decision log is
+     * bit-identical to run() regardless, because every virtual-time
+     * outcome depends only on the session seed, config and reads.
+     * Wall-clock statistics (latency percentiles, chunks/s) reflect
+     * the shared pool; dispatches/meanBatchSize are pool-level and
+     * left zero.  @p session_id tags every submitted request so the
+     * service can do per-session admission accounting, and @p live
+     * (optional) is ticked as chunks surface and decisions apply so
+     * an orchestrator can snapshot progress mid-run.
+     */
+    SessionResult runShared(DecisionService &service,
+                            std::span<const signal::ReadRecord> reads,
+                            std::uint32_t session_id = 0,
+                            SessionLiveCounters *live = nullptr) const;
+
     /** The configuration in effect. */
     const SessionConfig &config() const { return config_; }
+
+    /** The classifier decisions are made with. */
+    const sdtw::SquiggleFilterClassifier &classifier() const
+    {
+        return classifier_;
+    }
 
   private:
     const sdtw::SquiggleFilterClassifier &classifier_;

@@ -1,0 +1,592 @@
+/**
+ * @file
+ * Tests for the fleet orchestrator: the QoS-aware shared queue and
+ * FleetOrchestrator itself — above all that every session's decision
+ * log stays bit-identical to a standalone ReadUntilSession::run()
+ * regardless of fleet size, worker count, QoS class or backpressure,
+ * that Stat preempts Research without starving it, and that admission
+ * control throttles instead of dropping.
+ *
+ * The QosQueueTest cases are sub-second and carry the `quick` label;
+ * the FleetTest cases run real flowcell fleets under the `stream`
+ * label (one process under TSan, see CMakeLists).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "fleet/orchestrator.hpp"
+#include "fleet/qos_queue.hpp"
+#include "pipeline/experiments.hpp"
+#include "sdtw/filter.hpp"
+#include "stream/session.hpp"
+
+namespace sf::fleet {
+namespace {
+
+// Same TSan compute-shrink policy as tests/test_stream.cpp: every
+// DP-cell access is instrumented under ThreadSanitizer, so shrink the
+// fixture *compute* (reads, stages, fleet matrix) while keeping the
+// *concurrency* (shared queue, QoS interleaving, worker contention)
+// at full strength.  Every assertion is an internal-consistency pin
+// (fleet vs standalone), so it holds at any scale.
+#if defined(__SANITIZE_THREAD__)
+constexpr std::size_t kCalibrationReads = 4;
+constexpr std::size_t kReadsPerSession = 4;
+constexpr int kChannels = 4;
+constexpr std::size_t kStages = 4;
+constexpr std::size_t kMaxFleet = 2;
+// Race coverage wants contention, not matrix breadth: the Release
+// build sweeps the full fleet-size x worker-count determinism matrix,
+// so under TSan only the most contended cell runs — every
+// synchronization edge (shared queue, QoS classes, multi-worker
+// folds, concurrent snapshots) is still exercised.
+const std::vector<std::size_t> kFleetSizes = {kMaxFleet};
+const std::vector<unsigned> kWorkerCounts = {4};
+constexpr std::size_t kStatReadsFactor = 2;
+constexpr std::size_t kSerialFoldSessions = 1;
+#else
+constexpr std::size_t kCalibrationReads = 40;
+constexpr std::size_t kReadsPerSession = 16;
+constexpr int kChannels = 4;
+constexpr std::size_t kStages = 9;
+constexpr std::size_t kMaxFleet = 4;
+const std::vector<std::size_t> kFleetSizes = {1, 2, kMaxFleet};
+const std::vector<unsigned> kWorkerCounts = {1, 4, 8};
+constexpr std::size_t kStatReadsFactor = 3;
+constexpr std::size_t kSerialFoldSessions = 2;
+#endif
+
+// ---------------------------------------------------------------- //
+//                      QoS queue (quick label)                      //
+// ---------------------------------------------------------------- //
+
+/** Minimal queue payload: QosBoundedQueue needs only .sessionId. */
+struct Item
+{
+    std::uint32_t sessionId = 0;
+    int value = 0;
+};
+
+TEST(QosQueueTest, StatDispatchesBeforeQueuedResearch)
+{
+    QosBoundedQueue<Item> queue(16, /*statBurst=*/4);
+    const auto research = queue.registerSession(QosClass::Research, 0);
+    const auto stat = queue.registerSession(QosClass::Stat, 0);
+
+    // Research arrives first, Stat after — Stat still dispatches
+    // first, and dispatches are class-pure.
+    ASSERT_TRUE(queue.push(research, Item{research, 1}));
+    ASSERT_TRUE(queue.push(research, Item{research, 2}));
+    ASSERT_TRUE(queue.push(stat, Item{stat, 3}));
+
+    std::vector<Item> batch;
+    QosClass served = QosClass::Research;
+    ASSERT_TRUE(queue.popBatch(batch, 8, &served));
+    EXPECT_EQ(served, QosClass::Stat);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].value, 3);
+
+    batch.clear();
+    ASSERT_TRUE(queue.popBatch(batch, 8, &served));
+    EXPECT_EQ(served, QosClass::Research);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0].value, 1); // FIFO within the class
+    EXPECT_EQ(batch[1].value, 2);
+}
+
+TEST(QosQueueTest, ResearchStarvationIsBoundedByStatBurst)
+{
+    constexpr std::size_t kBurst = 2;
+    QosBoundedQueue<Item> queue(64, kBurst);
+    const auto stat = queue.registerSession(QosClass::Stat, 0);
+    const auto research = queue.registerSession(QosClass::Research, 0);
+
+    // Both classes saturated: Research must be served at least every
+    // kBurst+1 dispatches even though Stat never runs dry.
+    for (int i = 0; i < 12; ++i)
+        ASSERT_TRUE(queue.push(stat, Item{stat, i}));
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(queue.push(research, Item{research, 100 + i}));
+
+    std::vector<QosClass> order;
+    std::vector<Item> batch;
+    QosClass served = QosClass::Research;
+    // Single-item dispatches expose the exact interleaving.
+    while (queue.size() > 0) {
+        batch.clear();
+        ASSERT_TRUE(queue.popBatch(batch, 1, &served));
+        order.push_back(served);
+    }
+    std::size_t stat_streak = 0;
+    std::size_t research_seen = 0;
+    for (QosClass cls : order) {
+        if (cls == QosClass::Stat) {
+            ++stat_streak;
+            // The bound applies while Research work is waiting; once
+            // the Research queue drains, Stat may streak freely.
+            if (research_seen < 4) {
+                EXPECT_LE(stat_streak, kBurst)
+                    << "research starved past the statBurst bound";
+            }
+        } else {
+            stat_streak = 0;
+            ++research_seen;
+        }
+    }
+    EXPECT_EQ(research_seen, 4u);
+}
+
+TEST(QosQueueTest, AdmissionQuotaBlocksUntilDispatchFreesIt)
+{
+    QosBoundedQueue<Item> queue(16, 4);
+    const auto s = queue.registerSession(QosClass::Research, /*quota=*/1);
+
+    ASSERT_TRUE(queue.push(s, Item{s, 1}));
+    EXPECT_EQ(queue.depth(s), 1u);
+
+    // Second push exceeds the quota: it must block (throttle), not
+    // drop, and complete once a dispatch frees the slot.
+    std::atomic<bool> pushed{false};
+    std::thread pusher([&] {
+        ASSERT_TRUE(queue.push(s, Item{s, 2}));
+        pushed.store(true, std::memory_order_release);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(pushed.load(std::memory_order_acquire))
+        << "push over quota must block";
+
+    std::vector<Item> batch;
+    ASSERT_TRUE(queue.popBatch(batch, 8, nullptr));
+    pusher.join();
+    EXPECT_TRUE(pushed.load(std::memory_order_acquire));
+    EXPECT_EQ(queue.depth(s), 1u); // item 2 queued now
+    batch.clear();
+    ASSERT_TRUE(queue.popBatch(batch, 8, nullptr));
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].value, 2);
+    EXPECT_EQ(queue.depth(s), 0u);
+}
+
+TEST(QosQueueTest, CloseWakesBlockedProducerAndDrainsConsumers)
+{
+    QosBoundedQueue<Item> queue(1, 4);
+    const auto s = queue.registerSession(QosClass::Stat, 0);
+    ASSERT_TRUE(queue.push(s, Item{s, 1})); // at capacity
+
+    std::atomic<bool> refused{false};
+    std::thread pusher([&] {
+        // Blocks on capacity; close() must wake it with false.
+        refused.store(!queue.push(s, Item{s, 2}),
+                      std::memory_order_release);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    queue.close();
+    pusher.join();
+    EXPECT_TRUE(refused.load(std::memory_order_acquire));
+
+    // Consumers drain what was queued, then see false.
+    std::vector<Item> batch;
+    EXPECT_TRUE(queue.popBatch(batch, 8, nullptr));
+    ASSERT_EQ(batch.size(), 1u);
+    batch.clear();
+    EXPECT_FALSE(queue.popBatch(batch, 8, nullptr));
+}
+
+TEST(QosQueueTest, InvalidParametersAreFatal)
+{
+    EXPECT_THROW(QosBoundedQueue<Item>(0, 4), FatalError);
+    // statBurst = 0 would invert the priority (Research always
+    // preferred), so it is rejected rather than silently honoured.
+    EXPECT_THROW(QosBoundedQueue<Item>(16, 0), FatalError);
+    QosBoundedQueue<Item> queue(4, 1);
+    EXPECT_THROW(queue.push(7, Item{7, 0}), FatalError);
+}
+
+// ---------------------------------------------------------------- //
+//                     fleet fixtures (stream label)                 //
+// ---------------------------------------------------------------- //
+
+class FleetTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t kChunk = 1600; // 0.4 s at 4 kHz
+
+    static const sdtw::SquiggleFilterClassifier &
+    classifier()
+    {
+        static const sdtw::SquiggleFilterClassifier instance = [] {
+            sdtw::SquiggleFilterClassifier c(
+                pipeline::streamVirusSquiggle());
+            c.setStages(sdtw::uniformStageSchedule(
+                kChunk, kStages,
+                pipeline::calibratedStreamThreshold(kCalibrationReads,
+                                                    0.5, 11)));
+            return c;
+        }();
+        return instance;
+    }
+
+    /** Per-session flowcell config: distinct seed per session. */
+    static stream::SessionConfig
+    sessionConfig(std::size_t i)
+    {
+        stream::SessionConfig cfg;
+        cfg.channels = kChannels;
+        cfg.chunkSeconds = double(kChunk) / cfg.sampleRateHz;
+        cfg.seed = 0xbeef + i;
+        return cfg;
+    }
+
+    /** Per-session read set: distinct synthesis seed per session. */
+    static const signal::Dataset &
+    sessionReads(std::size_t i)
+    {
+        return pipeline::makeStreamDataset(kReadsPerSession, 0.5,
+                                           21 + std::uint64_t(i));
+    }
+
+    /** Standalone (private-pool) run of session @p i — the oracle the
+        fleet logs must match bit-exactly. */
+    static const stream::SessionResult &
+    standalone(std::size_t i)
+    {
+        static std::vector<stream::SessionResult> cache = [] {
+            std::vector<stream::SessionResult> runs;
+            for (std::size_t s = 0; s < kMaxFleet; ++s)
+                runs.push_back(
+                    stream::ReadUntilSession(classifier(),
+                                             sessionConfig(s))
+                        .run(sessionReads(s).reads));
+            return runs;
+        }();
+        return cache.at(i);
+    }
+
+    static void
+    expectLogsEqual(const stream::SessionResult &fleet_run,
+                    const stream::SessionResult &oracle,
+                    const std::string &context)
+    {
+        ASSERT_EQ(fleet_run.log.size(), oracle.log.size()) << context;
+        for (std::size_t i = 0; i < fleet_run.log.size(); ++i) {
+            const auto &a = oracle.log[i];
+            const auto &b = fleet_run.log[i];
+            EXPECT_EQ(a.order, b.order) << context;
+            EXPECT_EQ(a.channel, b.channel) << context;
+            EXPECT_EQ(a.readId, b.readId) << context;
+            EXPECT_EQ(a.keep, b.keep) << context;
+            EXPECT_EQ(a.cost, b.cost) << context;
+            EXPECT_EQ(a.samplesUsed, b.samplesUsed) << context;
+            EXPECT_EQ(a.stagesRun, b.stagesRun) << context;
+            EXPECT_DOUBLE_EQ(a.virtualSec, b.virtualSec) << context;
+        }
+        EXPECT_EQ(fleet_run.stats.chunksEmitted,
+                  oracle.stats.chunksEmitted)
+            << context;
+        EXPECT_EQ(fleet_run.stats.decisions, oracle.stats.decisions)
+            << context;
+        EXPECT_EQ(fleet_run.stats.dpRowsFolded,
+                  oracle.stats.dpRowsFolded)
+            << context;
+    }
+
+    /** Build an orchestrator with @p fleet_size sessions, alternating
+        QoS classes, over the shared-pool @p config. */
+    static FleetResult
+    runFleet(std::size_t fleet_size, FleetConfig config)
+    {
+        FleetOrchestrator fleet(config);
+        for (std::size_t i = 0; i < fleet_size; ++i) {
+            SessionSpec spec;
+            spec.name = "cell-" + std::to_string(i);
+            spec.classifier = &classifier();
+            spec.config = sessionConfig(i);
+            spec.qos =
+                i % 2 == 0 ? QosClass::Stat : QosClass::Research;
+            spec.reads = sessionReads(i).reads;
+            fleet.addSession(std::move(spec));
+        }
+        return fleet.run();
+    }
+};
+
+// ---------------------------------------------------------------- //
+//           determinism: fleet logs == standalone logs              //
+// ---------------------------------------------------------------- //
+
+TEST_F(FleetTest, PerSessionLogsMatchStandaloneAcrossFleetAndWorkers)
+{
+    // The tentpole invariant: sharding a session into any fleet mix,
+    // at any worker count, under any QoS interleaving, must not
+    // change one bit of its decision log.  Virtual time depends only
+    // on (seed, config, reads); the shared pool is wall-clock only.
+    for (std::size_t fleet_size : kFleetSizes) {
+        for (unsigned workers : kWorkerCounts) {
+            FleetConfig cfg;
+            cfg.workers = workers;
+            cfg.queueCapacity = 32;
+            cfg.dispatchBatch = 16;
+            const FleetResult result = runFleet(fleet_size, cfg);
+            ASSERT_EQ(result.sessions.size(), fleet_size);
+            for (std::size_t i = 0; i < fleet_size; ++i) {
+                expectLogsEqual(
+                    result.sessions[i].result, standalone(i),
+                    "fleet=" + std::to_string(fleet_size) +
+                        " workers=" + std::to_string(workers) +
+                        " session=" + std::to_string(i));
+            }
+        }
+    }
+}
+
+TEST_F(FleetTest, SerialFoldFleetMatchesLaneBatchedFleet)
+{
+    // laneBatching only changes wall-clock throughput, fleet-wide.
+    FleetConfig cfg;
+    cfg.workers = 2;
+    cfg.laneBatching = false;
+    const FleetResult serial = runFleet(kSerialFoldSessions, cfg);
+    for (std::size_t i = 0; i < kSerialFoldSessions; ++i)
+        expectLogsEqual(serial.sessions[i].result, standalone(i),
+                        "serial-fold session=" + std::to_string(i));
+}
+
+// ---------------------------------------------------------------- //
+//                      QoS under real load                          //
+// ---------------------------------------------------------------- //
+
+TEST_F(FleetTest, StatPreemptsResearchUnderSharedPoolContention)
+{
+    // One worker serving a Stat and a Research flowcell with the
+    // same workload: every dispatch prefers Stat, so Stat decisions
+    // must clear the queue faster.  Medians (not tails) keep this
+    // robust on a noisy host; the queue-level interleaving is pinned
+    // deterministically in QosQueueTest.  A virtual decision latency
+    // of one chunk period keeps every channel's request in flight
+    // while the next chunk surfaces, so both sessions hold several
+    // queued requests at once and the dispatch preference actually
+    // decides who waits.
+    FleetConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 8; // sustained queuing
+    cfg.statBurst = 4;
+    cfg.dispatchBatch = 1; // serve one request per pull: strict order
+    // The Stat session gets a multiple of the reads so it stays
+    // active for the Research session's whole lifetime.  Otherwise
+    // Stat — being preferred — finishes early and Research's
+    // uncontended tail drags its median below Stat's, inverting the
+    // comparison.
+    const signal::Dataset &stat_reads = pipeline::makeStreamDataset(
+        kReadsPerSession * kStatReadsFactor, 0.5, 77);
+    FleetOrchestrator fleet(cfg);
+    for (std::size_t i = 0; i < 2; ++i) {
+        SessionSpec spec;
+        spec.name = "cell-" + std::to_string(i);
+        spec.classifier = &classifier();
+        spec.config = sessionConfig(i);
+        spec.config.decisionLatencySec = spec.config.chunkSeconds;
+        spec.qos = i == 0 ? QosClass::Stat : QosClass::Research;
+        spec.reads =
+            i == 0 ? stat_reads.reads : sessionReads(i).reads;
+        fleet.addSession(std::move(spec));
+    }
+    const FleetResult result = fleet.run();
+
+    ASSERT_EQ(result.sessions[0].qos, QosClass::Stat);
+    ASSERT_EQ(result.sessions[1].qos, QosClass::Research);
+    const auto &stat = result.sessions[0].result.stats;
+    const auto &research = result.sessions[1].result.stats;
+    EXPECT_GT(stat.decisions, 0u);
+    EXPECT_GT(research.decisions, 0u);
+    EXPECT_LT(stat.latency.p50us, research.latency.p50us);
+
+    // Both classes were actually dispatched — Research was not
+    // starved behind the Stat preference.
+    const auto &by_class = result.snapshot.dispatchesByClass;
+    EXPECT_GT(by_class[std::size_t(QosClass::Stat)], 0u);
+    EXPECT_GT(by_class[std::size_t(QosClass::Research)], 0u);
+}
+
+// ---------------------------------------------------------------- //
+//                  backpressure and admission                       //
+// ---------------------------------------------------------------- //
+
+TEST_F(FleetTest, BackpressureThrottlesButNeverDropsAChunk)
+{
+    // Worst-case contention: a 2-slot shared queue and a 1-request
+    // admission quota per session.  Sessions block at capture time;
+    // every read of every session must still be decided exactly once
+    // with a log identical to the uncontended standalone run.
+    FleetConfig cfg;
+    cfg.workers = 2;
+    cfg.queueCapacity = 2;
+    cfg.sessionQuota = 1;
+    cfg.dispatchBatch = 2;
+    const FleetResult result = runFleet(2, cfg);
+
+    for (std::size_t i = 0; i < 2; ++i) {
+        const auto &run = result.sessions[i].result;
+        expectLogsEqual(run, standalone(i),
+                        "backpressure session=" + std::to_string(i));
+        const auto &reads = sessionReads(i).reads;
+        std::vector<bool> seen(reads.size(), false);
+        for (const auto &rec : run.log) {
+            ASSERT_LT(std::size_t(rec.readId), seen.size());
+            EXPECT_FALSE(seen[std::size_t(rec.readId)])
+                << "read decided twice";
+            seen[std::size_t(rec.readId)] = true;
+        }
+        EXPECT_EQ(run.log.size(), reads.size());
+    }
+    // Nothing left queued after a clean drain.
+    for (const auto &session : result.snapshot.sessions)
+        EXPECT_EQ(session.queueDepth, 0u);
+}
+
+// ---------------------------------------------------------------- //
+//                  teardown and observability                       //
+// ---------------------------------------------------------------- //
+
+TEST_F(FleetTest, CleanTeardownMidLoadLeavesConsistentPartialLogs)
+{
+    // Stop every virtual clock after two virtual seconds while the
+    // shared queue is still full of in-flight work: the fleet must
+    // drain, join, and hand back consistent partial results.
+    FleetConfig cfg;
+    cfg.workers = 4;
+    cfg.queueCapacity = 2;
+    FleetOrchestrator fleet(cfg);
+    for (std::size_t i = 0; i < 2; ++i) {
+        SessionSpec spec;
+        spec.name = "cell-" + std::to_string(i);
+        spec.classifier = &classifier();
+        spec.config = sessionConfig(i);
+        spec.config.maxVirtualHours = 2.0 / 3600.0;
+        spec.qos = QosClass::Stat;
+        spec.reads = sessionReads(i).reads;
+        fleet.addSession(std::move(spec));
+    }
+    const FleetResult result = fleet.run();
+    for (const auto &session : result.sessions) {
+        const auto &run = session.result;
+        EXPECT_LT(run.log.size(), kReadsPerSession);
+        EXPECT_EQ(run.stats.readsKept + run.stats.readsEjected,
+                  run.log.size());
+        for (std::size_t i = 1; i < run.log.size(); ++i)
+            EXPECT_GE(run.log[i].virtualSec,
+                      run.log[i - 1].virtualSec);
+    }
+    for (const auto &session : result.snapshot.sessions)
+        EXPECT_TRUE(session.finished);
+}
+
+TEST_F(FleetTest, SnapshotIsConsistentMidRunAndFinal)
+{
+    FleetConfig cfg;
+    cfg.workers = 2;
+    FleetOrchestrator fleet(cfg);
+    for (std::size_t i = 0; i < 2; ++i) {
+        SessionSpec spec;
+        spec.name = "cell-" + std::to_string(i);
+        spec.classifier = &classifier();
+        spec.config = sessionConfig(i);
+        spec.qos = i == 0 ? QosClass::Stat : QosClass::Research;
+        spec.reads = sessionReads(i).reads;
+        fleet.addSession(std::move(spec));
+    }
+
+    // Poll snapshots concurrently with run(): chunk counts must be
+    // monotone and every field internally consistent.  (Under TSan
+    // this also audits the snapshot path against the worker pool.)
+    std::atomic<bool> done{false};
+    std::atomic<std::uint64_t> polls{0};
+    std::thread poller([&] {
+        std::uint64_t last_chunks = 0;
+        while (!done.load(std::memory_order_acquire)) {
+            const FleetSnapshot snap = fleet.snapshot();
+            EXPECT_GE(snap.chunksEmitted, last_chunks);
+            last_chunks = snap.chunksEmitted;
+            EXPECT_GE(snap.laneOccupancy, 0.0);
+            EXPECT_LE(snap.laneOccupancy, 1.0);
+            EXPECT_EQ(snap.sessions.size(), 2u);
+            polls.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+    });
+    const FleetResult result = fleet.run();
+    done.store(true, std::memory_order_release);
+    poller.join();
+    EXPECT_GT(polls.load(std::memory_order_relaxed), 0u);
+
+    const FleetSnapshot &snap = result.snapshot;
+    std::uint64_t per_session_chunks = 0;
+    for (const auto &session : snap.sessions) {
+        per_session_chunks += session.chunksEmitted;
+        EXPECT_TRUE(session.finished);
+        EXPECT_EQ(session.queueDepth, 0u);
+    }
+    EXPECT_EQ(snap.chunksEmitted, per_session_chunks);
+    EXPECT_EQ(snap.chunksEmitted,
+              result.sessions[0].result.stats.chunksEmitted +
+                  result.sessions[1].result.stats.chunksEmitted);
+    EXPECT_GT(snap.dispatches, 0u);
+    EXPECT_GE(snap.meanBatchSize, 1.0);
+    EXPECT_GT(snap.wallSeconds, 0.0);
+    EXPECT_GT(snap.laneSlots, 0u);
+
+    // The JSON rendering carries the same aggregates.
+    const std::string json = snap.toJson();
+    EXPECT_NE(json.find("\"chunks_per_sec\""), std::string::npos);
+    EXPECT_NE(json.find("\"lane_occupancy\""), std::string::npos);
+    EXPECT_NE(json.find("\"cell-1\""), std::string::npos);
+    EXPECT_NE(json.find("\"stat\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------- //
+//                         misconfiguration                          //
+// ---------------------------------------------------------------- //
+
+TEST_F(FleetTest, MisconfiguredFleetsAreFatal)
+{
+    {
+        FleetOrchestrator fleet(FleetConfig{});
+        SessionSpec spec;
+        spec.name = "no-classifier";
+        EXPECT_THROW(fleet.addSession(std::move(spec)), FatalError);
+    }
+    {
+        // Kernel-config disagreement: one shared worker kernel cannot
+        // serve two different recurrences.
+        static const sdtw::SquiggleFilterClassifier vanilla(
+            pipeline::streamVirusSquiggle(), sdtw::vanillaConfig());
+        FleetOrchestrator fleet(FleetConfig{});
+        SessionSpec a;
+        a.name = "hardware";
+        a.classifier = &classifier();
+        a.reads = sessionReads(0).reads;
+        fleet.addSession(std::move(a));
+        SessionSpec b;
+        b.name = "vanilla";
+        b.classifier = &vanilla;
+        b.reads = sessionReads(1).reads;
+        EXPECT_THROW(fleet.addSession(std::move(b)), FatalError);
+    }
+    {
+        FleetOrchestrator fleet(FleetConfig{});
+        EXPECT_THROW(fleet.run(), FatalError);
+    }
+    {
+        FleetConfig cfg;
+        cfg.dispatchBatch = 0;
+        EXPECT_THROW(FleetOrchestrator{cfg}, FatalError);
+    }
+}
+
+} // namespace
+} // namespace sf::fleet
