@@ -251,14 +251,18 @@ FleetSnapshot
 FleetOrchestrator::snapshot() const
 {
     FleetSnapshot snap;
-    if (started_.load(std::memory_order_acquire)) {
-        snap.wallSeconds =
-            finished_.load(std::memory_order_acquire)
-                ? wallSecondsFinal_.load(std::memory_order_acquire)
-                : std::chrono::duration<double>(Clock::now() -
-                                                runStart_)
-                      .count();
-    }
+    // Before run() publishes started_, sessions_ may still be growing
+    // under addSession(); reading it here would race the push_back.
+    // Once started_ is observed (acquire, paired with the acq_rel
+    // exchange in run()), the vector is frozen — addSession fatals —
+    // so the iteration below is safe for the rest of the run.
+    if (!started_.load(std::memory_order_acquire))
+        return snap; // registration phase: empty snapshot
+    snap.wallSeconds =
+        finished_.load(std::memory_order_acquire)
+            ? wallSecondsFinal_.load(std::memory_order_acquire)
+            : std::chrono::duration<double>(Clock::now() - runStart_)
+                  .count();
     snap.dispatches = dispatches_.load(std::memory_order_relaxed);
     snap.dispatchedRequests =
         dispatchedRequests_.load(std::memory_order_relaxed);

@@ -175,7 +175,9 @@ class FleetOrchestrator final : public stream::DecisionService
      */
     FleetResult run();
 
-    /** Live aggregate view; safe to call concurrently with run(). */
+    /** Live aggregate view; safe to call concurrently with run().
+        During the registration phase (before run() starts) it returns
+        an empty snapshot rather than racing addSession(). */
     FleetSnapshot snapshot() const;
 
     /** DecisionService: called by the sessions' event loops. */

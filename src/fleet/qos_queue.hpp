@@ -126,7 +126,13 @@ class QosBoundedQueue
                   "of capacity %zu (lost wakeup or predicate bug)",
                   total_, capacity_);
         lock.unlock();
-        notEmpty_.notify_one();
+        // notify_all, not notify_one: consumers wait on notEmpty_
+        // with two different predicates (arrival wait: any work;
+        // linger wait: batch full).  A single notification could land
+        // on a lingering worker whose fill predicate is still false —
+        // it would swallow the wakeup and leave an idle worker asleep
+        // for up to the full linger deadline.
+        notEmpty_.notify_all();
         return true;
     }
 
@@ -142,9 +148,14 @@ class QosBoundedQueue
      * the first item is available: sessions re-queue their requests
      * within microseconds of a completed dispatch, and popping
      * eagerly would shred those co-arriving requests into ragged
-     * serial folds.  The wait is deadline-bounded and cut short by
-     * close(), a full batch, or the deadline — never by-passed work:
-     * whatever is queued at expiry is dispatched.
+     * serial folds.  The fill target is the depth of the class this
+     * dispatch would serve (dispatches are class-pure).  The wait is
+     * deadline-bounded and cut short by close(), a full batch, or
+     * the deadline — never by-passed work: whatever is queued at
+     * expiry is dispatched.  If a concurrent worker drains the queue
+     * while the linger holds the mutex released, the call goes back
+     * to waiting for work; false means closed-and-drained, never a
+     * transiently empty open queue.
      */
     bool
     popBatch(std::vector<T> &out, std::size_t max_items,
@@ -154,28 +165,36 @@ class QosBoundedQueue
         if (max_items == 0)
             fatal("QosBoundedQueue batch size must be positive");
         std::unique_lock lock(mutex_);
-        notEmpty_.wait(lock, [&] { return closed_ || total_ > 0; });
-        if (linger.count() > 0 && !closed_ && total_ < max_items)
-            notEmpty_.wait_for(lock, linger, [&] {
-                return closed_ || total_ >= max_items;
-            });
-        if (total_ == 0)
-            return false; // closed and drained
-
-        auto &stat = items_[std::size_t(QosClass::Stat)];
-        auto &research = items_[std::size_t(QosClass::Research)];
-        QosClass cls = QosClass::Stat;
-        if (stat.empty()) {
-            cls = QosClass::Research;
-        } else if (!research.empty() && statStreak_ >= statBurst_) {
-            cls = QosClass::Research; // starvation bound
+        for (;;) {
+            notEmpty_.wait(lock,
+                           [&] { return closed_ || total_ > 0; });
+            // Linger on the depth of the class THIS dispatch would
+            // serve, not total_: dispatches are class-pure, so in a
+            // mixed fleet the other class filling up cannot fill this
+            // batch.
+            if (linger.count() > 0 && !closed_ && total_ > 0 &&
+                dispatchDepthLocked() < max_items)
+                notEmpty_.wait_for(lock, linger, [&] {
+                    return closed_ ||
+                           dispatchDepthLocked() >= max_items;
+                });
+            if (total_ > 0)
+                break;
+            if (closed_)
+                return false; // closed and drained
+            // The linger wait released the mutex and a concurrent
+            // worker drained the still-open queue: go back to waiting
+            // for new work — returning false here would permanently
+            // retire this worker's dispatch loop.
         }
+
+        const QosClass cls = dispatchClassLocked();
         if (cls == QosClass::Stat)
             ++statStreak_;
         else
             statStreak_ = 0;
 
-        auto &queue = cls == QosClass::Stat ? stat : research;
+        auto &queue = items_[std::size_t(cls)];
         const std::size_t take = std::min(max_items, queue.size());
         for (std::size_t i = 0; i < take; ++i) {
             T item = std::move(queue.front());
@@ -244,6 +263,29 @@ class QosBoundedQueue
     sessionOf(const T &item)
     {
         return item.sessionId;
+    }
+
+    /** Class a dispatch entered right now would serve — the same
+        Stat-first / starvation-bound policy popBatch applies, minus
+        the streak update.  Caller holds mutex_; with both classes
+        empty it degenerates to Research (depth 0). */
+    QosClass
+    dispatchClassLocked() const
+    {
+        const auto &stat = items_[std::size_t(QosClass::Stat)];
+        const auto &research = items_[std::size_t(QosClass::Research)];
+        if (stat.empty())
+            return QosClass::Research;
+        if (!research.empty() && statStreak_ >= statBurst_)
+            return QosClass::Research; // starvation bound
+        return QosClass::Stat;
+    }
+
+    /** Queued depth of the class dispatchClassLocked() selects. */
+    std::size_t
+    dispatchDepthLocked() const
+    {
+        return items_[std::size_t(dispatchClassLocked())].size();
     }
 
     mutable std::mutex mutex_;

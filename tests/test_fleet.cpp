@@ -197,6 +197,85 @@ TEST(QosQueueTest, CloseWakesBlockedProducerAndDrainsConsumers)
     EXPECT_FALSE(queue.popBatch(batch, 8, nullptr));
 }
 
+TEST(QosQueueTest, LingerExpiryOnDrainedOpenQueueKeepsWorkerAlive)
+{
+    // Regression: a lingering worker whose deadline expires after a
+    // concurrent worker drained the (still open) queue must go back
+    // to waiting for work, not return false — a false return here
+    // permanently retires the worker's dispatch loop and silently
+    // degrades the pool.
+    QosBoundedQueue<Item> queue(8, 4);
+    const auto s = queue.registerSession(QosClass::Research, 0);
+    constexpr auto kLinger = std::chrono::milliseconds(100);
+
+    std::vector<Item> dispatched;
+    std::thread worker([&] {
+        std::vector<Item> batch;
+        while (queue.popBatch(batch, 4, nullptr, kLinger)) {
+            dispatched.insert(dispatched.end(), batch.begin(),
+                              batch.end());
+            batch.clear();
+        }
+    });
+
+    // Item 1 parks the worker in its linger (a batch of 4 cannot
+    // fill), and an eager pop from this thread then drains the queue
+    // out from under it.
+    ASSERT_TRUE(queue.push(s, Item{s, 1}));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    std::vector<Item> stolen;
+    ASSERT_TRUE(queue.popBatch(stolen, 4, nullptr));
+    ASSERT_EQ(stolen.size(), 1u);
+    EXPECT_EQ(stolen[0].value, 1);
+
+    // Let the worker's linger deadline expire on the now-empty, still
+    // open queue, then offer new work: a worker that wrongly treated
+    // the expiry as closed-and-drained leaves item 2 undelivered.
+    std::this_thread::sleep_for(2 * kLinger);
+    ASSERT_TRUE(queue.push(s, Item{s, 2}));
+    queue.close(); // cuts any in-flight linger short, never past work
+    worker.join();
+    ASSERT_EQ(dispatched.size(), 1u)
+        << "worker retired from an open queue after its linger "
+           "expired empty";
+    EXPECT_EQ(dispatched[0].value, 2);
+}
+
+TEST(QosQueueTest, LingerFillTargetIsTheServedClassNotTheTotal)
+{
+    // Dispatches are class-pure, so the linger's fill target must be
+    // the depth of the class the dispatch will serve: four queued
+    // Research items must not end a linger that is building a Stat
+    // batch of one.
+    QosBoundedQueue<Item> queue(16, /*statBurst=*/8);
+    const auto stat = queue.registerSession(QosClass::Stat, 0);
+    const auto research = queue.registerSession(QosClass::Research, 0);
+
+    ASSERT_TRUE(queue.push(stat, Item{stat, 1}));
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(queue.push(research, Item{research, 100 + i}));
+
+    // Stat is non-empty and the streak is fresh, so the dispatch
+    // serves Stat; a total_-based fill predicate would see 5 >= 4 and
+    // cut the linger with a 1/4-full Stat batch immediately, which is
+    // exactly the shredding the linger exists to prevent.  With the
+    // class-pure target the linger runs its course, and whatever Stat
+    // work arrived meanwhile dispatches together.
+    std::thread filler([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        for (int i = 2; i <= 4; ++i)
+            ASSERT_TRUE(queue.push(stat, Item{stat, i}));
+    });
+    std::vector<Item> batch;
+    QosClass served = QosClass::Research;
+    ASSERT_TRUE(queue.popBatch(batch, 4, &served,
+                               std::chrono::milliseconds(500)));
+    filler.join();
+    EXPECT_EQ(served, QosClass::Stat);
+    EXPECT_EQ(batch.size(), 4u)
+        << "linger ended on total depth instead of the served class";
+}
+
 TEST(QosQueueTest, InvalidParametersAreFatal)
 {
     EXPECT_THROW(QosBoundedQueue<Item>(0, 4), FatalError);
@@ -509,12 +588,17 @@ TEST_F(FleetTest, SnapshotIsConsistentMidRunAndFinal)
         std::uint64_t last_chunks = 0;
         while (!done.load(std::memory_order_acquire)) {
             const FleetSnapshot snap = fleet.snapshot();
-            EXPECT_GE(snap.chunksEmitted, last_chunks);
-            last_chunks = snap.chunksEmitted;
-            EXPECT_GE(snap.laneOccupancy, 0.0);
-            EXPECT_LE(snap.laneOccupancy, 1.0);
-            EXPECT_EQ(snap.sessions.size(), 2u);
-            polls.fetch_add(1, std::memory_order_relaxed);
+            // Until run() publishes started_, snapshot() returns an
+            // empty view (registration-phase contract, so it never
+            // races addSession) — only live polls are audited.
+            if (!snap.sessions.empty()) {
+                EXPECT_GE(snap.chunksEmitted, last_chunks);
+                last_chunks = snap.chunksEmitted;
+                EXPECT_GE(snap.laneOccupancy, 0.0);
+                EXPECT_LE(snap.laneOccupancy, 1.0);
+                EXPECT_EQ(snap.sessions.size(), 2u);
+                polls.fetch_add(1, std::memory_order_relaxed);
+            }
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(1));
         }
