@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <limits>
 #include <string>
 
 #include "common/rng.hpp"
@@ -192,11 +193,21 @@ BENCHMARK(BM_Normalizer);
  * one reference, struct-of-arrays across SIMD lanes.  cells/s and
  * samples/s are *aggregate* over all lanes — the number to compare
  * against BM_QuantSdtw's single-read throughput.  Registered once per
- * available backend in main() (BM_BatchSdtw<avx2>/16/10000, ...).
+ * backend in main() (BM_BatchSdtw<avx2>/16/10000, ...); backends the
+ * host cannot execute skip loudly instead of silently measuring the
+ * dispatch fallback.  @p untiled forces a single column tile
+ * (setTileCols(SIZE_MAX)) — the A/B control for the genome-scale
+ * locality rows, registered as BM_BatchSdtwUntiled<...> so the bench
+ * gate's BM_BatchSdtw<simd> regex never mistakes it for a gated row.
  */
 void
-BM_BatchSdtwBackend(benchmark::State &state, sdtw::SimdBackend backend)
+BM_BatchSdtwBackend(benchmark::State &state, sdtw::SimdBackend backend,
+                    bool untiled)
 {
+    if (!sdtw::simdBackendAvailable(backend)) {
+        state.SkipWithError("SIMD backend unavailable on this host");
+        return;
+    }
     const auto lanes_n = std::size_t(state.range(0));
     const auto ref_len = std::size_t(state.range(1));
     constexpr std::size_t kQueryLen = 2000;
@@ -208,6 +219,8 @@ BM_BatchSdtwBackend(benchmark::State &state, sdtw::SimdBackend backend)
 
     sdtw::BatchSdtw kernel(sdtw::hardwareConfig(), lanes_n, backend);
     kernel.setSerialCutover(0); // measure the batched path only
+    if (untiled)
+        kernel.setTileCols(std::numeric_limits<std::size_t>::max());
     std::vector<sdtw::QuantSdtw::State> states(lanes_n);
     std::vector<sdtw::BatchLane> lanes(lanes_n);
 
@@ -229,6 +242,8 @@ BM_BatchSdtwBackend(benchmark::State &state, sdtw::SimdBackend backend)
                           double(ref_len));
     state.counters["lane_width"] =
         benchmark::Counter(double(kernel.laneWidth()));
+    state.counters["tile_cols"] = benchmark::Counter(
+        double(kernel.planTileCols(ref_len, lanes_n)));
 }
 
 void
@@ -250,24 +265,40 @@ BENCHMARK(BM_SystolicArraySim)->Args({64, 2000})->Args({256, 2000});
 int
 main(int argc, char **argv)
 {
-    // The batched benches are registered at runtime, once per backend
-    // this host can actually execute: the best backend gets the full
-    // shape sweep, the others one comparison shape each.
+    // The batched benches are registered at runtime, once per
+    // backend: the best backend this host can execute gets the full
+    // shape sweep, the others one comparison shape each.  Backends
+    // the host lacks are still registered — they SkipWithError so a
+    // missing ISA shows up as a loud skip in the report, never as a
+    // silent dispatch-fallback measurement.
     const sdtw::SimdBackend best = sdtw::detectSimdBackend();
     for (sdtw::SimdBackend backend :
          {sdtw::SimdBackend::Scalar, sdtw::SimdBackend::Sse2,
           sdtw::SimdBackend::Avx2, sdtw::SimdBackend::Avx512}) {
-        if (!sdtw::simdBackendAvailable(backend))
-            continue;
         const std::string name = std::string("BM_BatchSdtw<") +
                                  sdtw::simdBackendName(backend) + ">";
         auto *bench = benchmark::RegisterBenchmark(
-            name.c_str(), BM_BatchSdtwBackend, backend);
+            name.c_str(), BM_BatchSdtwBackend, backend,
+            /*untiled=*/false);
         bench->Args({16, 10000});
         if (backend == best) {
             bench->Args({8, 10000})
                 ->Args({32, 10000})
-                ->Args({16, 59796}); // SARS-CoV-2-sized reference
+                ->Args({16, 59796})  // SARS-CoV-2-sized reference
+                ->Args({8, 48000})   // genome-scale strips: the DP
+                ->Args({16, 48000})  // rows outgrow L2 and tiling
+                ->Args({8, 97000})   // has to keep cells/s flat
+                ->Args({16, 97000});
+            // Same genome shapes with tiling forced off — the A/B
+            // control quantifying what the column tiles buy.
+            const std::string ab =
+                std::string("BM_BatchSdtwUntiled<") +
+                sdtw::simdBackendName(backend) + ">";
+            benchmark::RegisterBenchmark(ab.c_str(),
+                                         BM_BatchSdtwBackend, backend,
+                                         /*untiled=*/true)
+                ->Args({16, 48000})
+                ->Args({16, 97000});
         }
     }
     benchmark::Initialize(&argc, argv);

@@ -9,7 +9,11 @@
 #      below the 'batched' baselines (only shapes/backends this host
 #      can measure are checked), or
 #    - the best batched backend stops beating the same-run serial
-#      kernel (ratio floor 1.1: lane batching must never be a loss).
+#      kernel (ratio floor 1.1: lane batching must never be a loss), or
+#    - a genome-scale batched row (reference >= 48k columns) falls
+#      more than the margin below the same-run 10k-column row at the
+#      same backend/lanes (the column-tiling locality promise).  The
+#      BM_BatchSdtwUntiled A/B rows are reported alongside, ungated.
 # 2. Runs the streaming session section of bench_fig17_read_until and
 #    fails when chunks/s regresses the same way against
 #    BENCH_stream.json, or when the checkpointed-DP work advantage
@@ -118,13 +122,19 @@ bbase = {(r["simd"], r["lanes"], r["reference_len"]): r["cells_per_s"]
          for r in baseline.get("batched", {}).get("results", [])}
 best_batched = 0.0
 bchecked = 0
+batched_measured = {}
 for bench in measured["benchmarks"]:
+    if bench.get("error_occurred"):
+        print(f"  [inf] {bench['name']}: skipped "
+              f"({bench.get('error_message', 'no reason')})")
+        continue
     m = re.fullmatch(r"BM_BatchSdtw<(\w+)>/(\d+)/(\d+)", bench["name"])
     if not m:
         continue
     key = (m.group(1), int(m.group(2)), int(m.group(3)))
     cells = bench["items_per_second"]
     best_batched = max(best_batched, cells)
+    batched_measured[key] = cells
     if key not in bbase:
         continue
     floor = bbase[key] * (1.0 - margin / 100.0)
@@ -138,6 +148,48 @@ for bench in measured["benchmarks"]:
 if bchecked == 0:
     sys.exit("bench gate matched no batched benchmarks against the "
              "baseline (BM_BatchSdtw rows missing?)")
+
+# --- genome-scale locality: column tiling must keep the batched     #
+# --- kernel's cells/s flat as the reference outgrows the cache.     #
+# For every wide-SIMD genome row (ref >= 48k) measured alongside a
+# same-backend same-lanes 10k row, the genome figure must stay within
+# the margin of the 10k figure — same-run, so host speed cancels out.
+gchecked = 0
+for (simd, lanes, ref), cells in sorted(batched_measured.items()):
+    if simd not in ("avx2", "avx512") or ref < 48000:
+        continue
+    short = batched_measured.get((simd, lanes, 10000))
+    if not short:
+        continue
+    floor = short * (1.0 - margin / 100.0)
+    status = "OK " if cells >= floor else "FAIL"
+    print(f"  [{status}] locality {simd} {lanes}x2000x{ref}: "
+          f"{cells/1e9:.2f} G cells/s vs 10k row "
+          f"{short/1e9:.2f} (floor {floor/1e9:.2f})")
+    gchecked += 1
+    if cells < floor:
+        failures.append(f"genome-locality-{simd}-{lanes}x{ref}")
+if gchecked == 0 and any(k[0] in ("avx2", "avx512")
+                         for k in batched_measured):
+    sys.exit("bench gate matched no genome-scale batched rows "
+             "(BM_BatchSdtw ref>=48000 missing?)")
+
+# Untiled A/B controls (informational): how much the genome rows
+# would decay with tiling forced off on THIS host.  Small hosts with
+# huge L3s show little decay; the ratio is recorded, not gated.
+for bench in measured["benchmarks"]:
+    m = re.fullmatch(r"BM_BatchSdtwUntiled<(\w+)>/(\d+)/(\d+)",
+                     bench["name"])
+    if not m or bench.get("error_occurred"):
+        continue
+    key = (m.group(1), int(m.group(2)), int(m.group(3)))
+    tiled = batched_measured.get(key)
+    if not tiled:
+        continue
+    untiled = bench["items_per_second"]
+    print(f"  [inf] untiled A/B {key[0]} {key[1]}x2000x{key[2]}: "
+          f"{untiled/1e9:.2f} G cells/s untiled vs "
+          f"{tiled/1e9:.2f} tiled ({tiled/untiled:.2f}x)")
 
 # Lane batching must beat the same-run serial kernel at full
 # occupancy, whatever this host's absolute speed is.  Only enforced

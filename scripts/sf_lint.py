@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lint for invariants no generic tool knows.
 
-Five rules, each encoding a correctness contract of this codebase:
+Six rules, each encoding a correctness contract of this codebase:
 
   simd-backend-integrity   Every SIMD backend TU (src/sdtw/
                            batch_{sse2,avx2,avx512}.cpp) keeps its
@@ -38,6 +38,18 @@ Five rules, each encoding a correctness contract of this codebase:
                            would silently break the saturating-int
                            bit-exactness contract the golden pins and
                            the ASIC model depend on.
+
+  tiling-containment       Column-tile plumbing (SF_SDTW_TILE_COLS,
+                           tileCols/tile_cols) stays inside src/sdtw/
+                           and src/common/ — stream/fleet/pipeline
+                           code must not grow per-call-site tile
+                           knowledge; they see one kernel API.
+                           Likewise CPU-affinity syscalls
+                           (pthread_setaffinity_np, sched_setaffinity,
+                           cpu_set_t) live only in
+                           src/common/topology.* — every other layer
+                           pins through topo::pinThreadToCpu so the
+                           graceful-no-op fallback stays in one place.
 
   env-knob-docs            Every SF_* environment knob read anywhere
                            in the tree must be documented in
@@ -300,6 +312,50 @@ def rule_quantized_hot_path_purity(root: Path, findings: List[Finding]):
 
 
 # ------------------------------------------------------------------ #
+# Rule: tiling-containment                                            #
+# ------------------------------------------------------------------ #
+
+TILING_ALLOWED_DIRS = ("src/sdtw/", "src/common/")
+
+TILING_TOKENS = re.compile(r"SF_SDTW_TILE_COLS|[Tt]ileCols|tile_cols")
+
+AFFINITY_ALLOWED_FILES = (
+    "src/common/topology.hpp",
+    "src/common/topology.cpp",
+)
+
+AFFINITY_TOKENS = re.compile(
+    r"pthread_setaffinity\w*|sched_setaffinity|cpu_set_t|"
+    r"CPU_ZERO\b|CPU_SET\b")
+
+
+def rule_tiling_containment(root: Path, findings: List[Finding]):
+    rule = "tiling-containment"
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in (".hpp", ".cpp"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        text = strip_comments(path.read_text())
+        if not rel.startswith(TILING_ALLOWED_DIRS):
+            for m in TILING_TOKENS.finditer(text):
+                findings.append(
+                    Finding(rule, f"{rel}:{line_of(text, m.start())}",
+                            f"tile-size plumbing '{m.group(0)}' "
+                            "outside src/sdtw//src/common/; layers "
+                            "above the kernel must not carry "
+                            "per-call-site tile knowledge"))
+        if rel not in AFFINITY_ALLOWED_FILES:
+            for m in AFFINITY_TOKENS.finditer(text):
+                findings.append(
+                    Finding(rule, f"{rel}:{line_of(text, m.start())}",
+                            f"raw affinity token '{m.group(0)}' "
+                            "outside src/common/topology.*; pin "
+                            "through topo::pinThreadToCpu so the "
+                            "unsupported-host fallback stays in one "
+                            "place"))
+
+
+# ------------------------------------------------------------------ #
 # Rule: env-knob-docs                                                 #
 # ------------------------------------------------------------------ #
 
@@ -343,6 +399,7 @@ RULES = [
     rule_concurrency_containment,
     rule_fleet_wait_discipline,
     rule_quantized_hot_path_purity,
+    rule_tiling_containment,
     rule_env_knob_docs,
 ]
 

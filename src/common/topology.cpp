@@ -1,0 +1,188 @@
+#include "common/topology.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+#include <algorithm>
+
+namespace sf::topo {
+
+namespace {
+
+/** Read a small sysfs text file; empty string when unreadable. */
+std::string
+readSysFile(const char *path)
+{
+    std::FILE *f = std::fopen(path, "re");
+    if (f == nullptr)
+        return {};
+    char buf[256];
+    const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    return std::string(buf);
+}
+
+/**
+ * Parse a kernel cpulist ("0-3,8,10-11") into cpu ids.  Malformed
+ * chunks are skipped rather than fatal — topology is advisory.
+ */
+std::vector<int>
+parseCpuList(const std::string &list)
+{
+    std::vector<int> cpus;
+    const char *p = list.c_str();
+    while (*p != '\0') {
+        char *end = nullptr;
+        const long lo = std::strtol(p, &end, 10);
+        if (end == p || lo < 0)
+            break;
+        long hi = lo;
+        p = end;
+        if (*p == '-') {
+            hi = std::strtol(p + 1, &end, 10);
+            if (end == p + 1 || hi < lo)
+                break;
+            p = end;
+        }
+        for (long c = lo; c <= hi; ++c)
+            cpus.push_back(int(c));
+        if (*p == ',')
+            ++p;
+        else
+            break;
+    }
+    return cpus;
+}
+
+CpuTopology
+probeTopology()
+{
+    CpuTopology topo;
+#if defined(__linux__)
+    // Node ids can be sparse (offlined nodes); scan a bounded range.
+    constexpr int kMaxNodes = 64;
+    for (int n = 0; n < kMaxNodes; ++n) {
+        char path[96];
+        std::snprintf(path, sizeof path,
+                      "/sys/devices/system/node/node%d/cpulist", n);
+        const std::string list = readSysFile(path);
+        if (list.empty())
+            continue;
+        NumaNode node;
+        node.id = n;
+        node.cpus = parseCpuList(list);
+        if (!node.cpus.empty())
+            topo.nodes.push_back(std::move(node));
+    }
+#endif
+    if (topo.nodes.empty()) {
+        // No /sys topology (non-Linux, containers, …): one flat node.
+        NumaNode node;
+        const unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        for (unsigned c = 0; c < hw; ++c)
+            node.cpus.push_back(int(c));
+        topo.nodes.push_back(std::move(node));
+    }
+    for (const NumaNode &node : topo.nodes)
+        topo.cpuCount += node.cpus.size();
+    return topo;
+}
+
+std::size_t
+probeLevel2CacheBytes()
+{
+#if defined(__linux__)
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+    const long v = sysconf(_SC_LEVEL2_CACHE_SIZE);
+    if (v > 0)
+        return std::size_t(v);
+#endif
+    // sysfs fallback: "2048K" / "2M" style.
+    const std::string size = readSysFile(
+        "/sys/devices/system/cpu/cpu0/cache/index2/size");
+    if (!size.empty()) {
+        char *end = nullptr;
+        const unsigned long long n =
+            std::strtoull(size.c_str(), &end, 10);
+        if (end != size.c_str() && n > 0) {
+            if (*end == 'K')
+                return std::size_t(n) << 10;
+            if (*end == 'M')
+                return std::size_t(n) << 20;
+            return std::size_t(n);
+        }
+    }
+#endif
+    return 0;
+}
+
+} // namespace
+
+const CpuTopology &
+systemTopology()
+{
+    // Magic-static memoization: probed once, thread-safe per C++11.
+    static const CpuTopology topo = probeTopology();
+    return topo;
+}
+
+std::size_t
+level2CacheBytes()
+{
+    static const std::size_t bytes = probeLevel2CacheBytes();
+    return bytes;
+}
+
+std::vector<int>
+planPlacement(const CpuTopology &topology, std::size_t count)
+{
+    // Flatten in node order: workers fill a node before spilling to
+    // the next, so a pool smaller than one node never crosses nodes.
+    std::vector<int> order;
+    order.reserve(topology.cpuCount);
+    for (const NumaNode &node : topology.nodes)
+        order.insert(order.end(), node.cpus.begin(), node.cpus.end());
+    if (order.empty())
+        return std::vector<int>(count, -1);
+    std::vector<int> plan;
+    plan.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        plan.push_back(order[i % order.size()]);
+    return plan;
+}
+
+std::vector<int>
+planPlacement(std::size_t count)
+{
+    return planPlacement(systemTopology(), count);
+}
+
+bool
+pinThreadToCpu(int cpu)
+{
+#if defined(__linux__)
+    if (cpu < 0 || cpu >= CPU_SETSIZE)
+        return false;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(unsigned(cpu), &set);
+    return pthread_setaffinity_np(pthread_self(), sizeof set, &set) ==
+           0;
+#else
+    (void)cpu;
+    return false;
+#endif
+}
+
+} // namespace sf::topo

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "common/topology.hpp"
 #include "sdtw/batch.hpp"
 
 namespace sf::fleet {
@@ -203,10 +204,25 @@ FleetOrchestrator::run()
     if (started_.exchange(true, std::memory_order_acq_rel))
         fatal("FleetOrchestrator::run may be called once");
 
+    // Node-compact placement, workers first, then session drivers —
+    // a fleet smaller than one node shares that node end to end.
+    // Wall-clock only: pinning must never change a decision log.
+    std::vector<int> placement;
+    if (config_.pinWorkers)
+        placement = topo::planPlacement(config_.workers +
+                                        sessions_.size());
+    const auto plannedCpu = [&](std::size_t slot) {
+        return config_.pinWorkers ? placement[slot] : -1;
+    };
+
     std::vector<std::thread> workers;
     workers.reserve(config_.workers);
     for (unsigned w = 0; w < config_.workers; ++w)
-        workers.emplace_back([this] { workerMain(); });
+        workers.emplace_back([this, cpu = plannedCpu(w)] {
+            if (cpu >= 0)
+                topo::pinThreadToCpu(cpu);
+            workerMain();
+        });
 
     // One driver thread per session: each runs its own virtual-time
     // event loop and blocks (backpressure) independently.
@@ -214,13 +230,17 @@ FleetOrchestrator::run()
     drivers.reserve(sessions_.size());
     for (std::size_t i = 0; i < sessions_.size(); ++i) {
         SessionState &state = *sessions_[i];
-        drivers.emplace_back([this, &state, i] {
-            const stream::ReadUntilSession session(
-                *state.spec.classifier, state.spec.config);
-            state.result = session.runShared(
-                *this, state.spec.reads, std::uint32_t(i),
-                &state.live);
-        });
+        drivers.emplace_back(
+            [this, &state, i,
+             cpu = plannedCpu(config_.workers + i)] {
+                if (cpu >= 0)
+                    topo::pinThreadToCpu(cpu);
+                const stream::ReadUntilSession session(
+                    *state.spec.classifier, state.spec.config);
+                state.result = session.runShared(
+                    *this, state.spec.reads, std::uint32_t(i),
+                    &state.live);
+            });
     }
     for (std::thread &driver : drivers)
         driver.join();

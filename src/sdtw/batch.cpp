@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/logging.hpp"
+#include "common/topology.hpp"
 
 namespace sf::sdtw {
 
@@ -225,12 +226,54 @@ BatchSdtw::BatchSdtw(SdtwConfig config, std::size_t lane_capacity,
         std::max(kDefaultSerialCutover, width_ * 3 / 4);
     bonusUnit_ = Cost(std::llround(config.matchBonus));
     fold_ = resolveFold(backend_, config, config.matchBonus > 0.0);
+    if (const char *env = std::getenv("SF_SDTW_TILE_COLS")) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end == env || *end != '\0')
+            fatal("SF_SDTW_TILE_COLS=%s is not a non-negative "
+                  "integer (columns per tile, 0 = auto)",
+                  env);
+        tileCols_ = std::size_t(v);
+    }
 }
 
 void
 BatchSdtw::setSerialCutover(std::size_t min_lanes)
 {
     serialCutover_ = min_lanes;
+}
+
+void
+BatchSdtw::setTileCols(std::size_t cols)
+{
+    tileCols_ = cols;
+}
+
+std::size_t
+BatchSdtw::planTileCols(std::size_t reference_len,
+                        std::size_t lanes) const
+{
+    std::size_t tile = tileCols_;
+    if (tile == 0) {
+        // Auto heuristic: size one tile's interleaved cost+dwell
+        // working set to about half the per-core L2, leaving the
+        // other half for the query block, carry slabs and the
+        // reference slice.  Floors keep a bogus cache reading from
+        // degenerating into per-column tiles.
+        constexpr std::size_t kFallbackL2Bytes = 1u << 20;
+        constexpr std::size_t kMinAutoTileCols = 1024;
+        const std::size_t width =
+            (std::min(std::max<std::size_t>(lanes, 1), capacity_) +
+             width_ - 1) /
+            width_ * width_;
+        const std::size_t l2 = topo::level2CacheBytes();
+        const std::size_t budget =
+            (l2 != 0 ? l2 : kFallbackL2Bytes) / 2;
+        const std::size_t bytes_per_col =
+            width * (sizeof(Cost) + sizeof(std::uint8_t));
+        tile = std::max(kMinAutoTileCols, budget / bytes_per_col);
+    }
+    return std::min(std::max<std::size_t>(tile, 1), reference_len);
 }
 
 void
@@ -290,7 +333,14 @@ BatchSdtw::runBatched(std::span<BatchLane> lanes,
         width_;
     rows_.resize(width * m);
     dwell_.resize(width * m);
-    qlane_.assign(width * 4, 0); // up to 4 strip rows per sweep
+
+    // Column tiling (see batch.hpp): each round folds a *block* of
+    // query rows, walking the reference in tile-sized column ranges
+    // and running every sweep of the block on one tile before moving
+    // on, so a tile's interleaved state is streamed once per block
+    // instead of once per sweep.
+    const std::size_t tile = planTileCols(m, lanes.size());
+    const std::size_t tiles = (m + tile - 1) / tile;
 
     /** One in-flight slot of the interleaved layout. */
     struct Slot
@@ -329,7 +379,6 @@ BatchSdtw::runBatched(std::span<BatchLane> lanes,
         }
         lane.result = result;
         slot.lane = -1;
-        qlane_[s] = 0;
         --occupied;
     };
 
@@ -391,36 +440,76 @@ BatchSdtw::runBatched(std::span<BatchLane> lanes,
                     slot.cursor);
         }
         const std::size_t groups = hi / width_ + 1;
-        // Deepest strip every in-flight lane can take whole: all
-        // lanes advance in lock-step, so the strip depth is bounded
-        // by the lane closest to retiring.
-        std::size_t strip = 1;
-        detail::FoldRowFn fold = fold_.fold1;
-        if (min_remaining >= 4 && fold_.fold4 != nullptr) {
-            strip = 4;
-            fold = fold_.fold4;
-        } else if (min_remaining >= 2 && fold_.fold2 != nullptr) {
-            strip = 2;
-            fold = fold_.fold2;
+
+        // Fold a block of rows this round.  The block never exceeds
+        // the in-flight lanes' minimum remaining samples, so no lane
+        // retires mid-block — retire/refill at block edges is
+        // bit-identical to the per-sweep schedule it replaces.
+        const std::size_t block =
+            std::min(min_remaining, kMaxBlockRows);
+
+        // Sweep plan: deepest strip first, identical on every tile so
+        // each sweep's carry lines up with its resumption.
+        struct Sweep
+        {
+            std::size_t r0;          //!< first block row of the strip
+            detail::FoldRowFn fn;
+        };
+        std::vector<Sweep> sweeps;
+        sweeps.reserve(block / 4 + 2);
+        for (std::size_t r = 0; r < block;) {
+            if (block - r >= 4 && fold_.fold4 != nullptr) {
+                sweeps.push_back({r, fold_.fold4});
+                r += 4;
+            } else if (block - r >= 2 && fold_.fold2 != nullptr) {
+                sweeps.push_back({r, fold_.fold2});
+                r += 2;
+            } else {
+                sweeps.push_back({r, fold_.fold1});
+                r += 1;
+            }
         }
 
+        // Pack the whole block's query samples `[row][lane]` once;
+        // empty slots fold zeros into state nobody will read.
+        qlane_.assign(block * width, 0);
         for (std::size_t s = 0; s <= hi; ++s) {
             const Slot &slot = slots[s];
             if (slot.lane < 0)
                 continue;
             const auto &query = lanes[std::size_t(slot.lane)].query;
-            for (std::size_t t = 0; t < strip; ++t)
+            for (std::size_t t = 0; t < block; ++t)
                 qlane_[t * width + s] =
                     std::int32_t(query[slot.cursor + t]);
         }
-        fold(qlane_.data(), reference.data(), m, width, groups,
-             rows_.data(), dwell_.data(), bonusUnit_, cap);
+
+        const bool tiled = tiles > 1;
+        if (tiled)
+            carry_.resize(sweeps.size() * detail::carrySlots(width));
+        for (std::size_t ti = 0; ti < tiles; ++ti) {
+            const std::size_t j0 = ti * tile;
+            const std::size_t len = std::min(tile, m - j0);
+            for (std::size_t si = 0; si < sweeps.size(); ++si) {
+                const Sweep &sw = sweeps[si];
+                sw.fn(qlane_.data() + sw.r0 * width,
+                      reference.data() + j0, len, width, groups,
+                      rows_.data() + j0 * width,
+                      dwell_.data() + j0 * width, bonusUnit_, cap,
+                      tiled ? carry_.data() +
+                                  si * detail::carrySlots(width)
+                            : nullptr,
+                      ti == 0);
+            }
+        }
+        foldStats_.rowBlocks += 1;
+        foldStats_.colTiles += tiles;
+
         for (std::size_t s = 0; s <= hi; ++s) {
             Slot &slot = slots[s];
             if (slot.lane < 0)
                 continue;
-            slot.cursor += strip;
-            slot.rowsDone += strip;
+            slot.cursor += block;
+            slot.rowsDone += block;
             if (slot.cursor >=
                 lanes[std::size_t(slot.lane)].query.size())
                 retire(s);

@@ -28,6 +28,20 @@
  * everywhere; SF_SDTW_SIMD=scalar|sse2|avx2|avx512 forces a backend.
  * All backends are bit-identical to the serial QuantSdtw engine for
  * every configuration (tests/test_batch.cpp pins this).
+ *
+ * Column tiling keeps genome-scale references cache-resident: a
+ * 16-lane batch against a ~97k-column reference owns ~8 MB of
+ * interleaved state, so an untiled strip sweep streams it from DRAM
+ * every 4 query rows.  The driver instead folds a *block* of query
+ * rows per round and walks the reference in cache-sized column tiles,
+ * finishing every sweep of the block on one tile before moving to the
+ * next — each tile's cost/dwell columns are touched once per block
+ * instead of once per sweep, so the working set is the tile, not the
+ * reference.  Per-sweep horizontal register state is carried across
+ * tile edges (see batch_kernel.hpp), making the tiled walk bit-exact
+ * vs the untiled one.  The tile width defaults to a heuristic from
+ * the detected per-core L2 size; SF_SDTW_TILE_COLS (or setTileCols())
+ * overrides it, and a value >= the reference length disables tiling.
  */
 
 #include <cstdint>
@@ -95,6 +109,11 @@ struct FoldStats
     std::uint64_t serialCalls = 0;  //!< calls below the serial cutover
     std::uint64_t laneJobs = 0;     //!< lanes that carried a real read
     std::uint64_t laneSlots = 0;    //!< vector slots paid for them
+    /** Column tiles walked by batched row blocks (1 per block when
+        the whole reference fits one tile — i.e. the untiled path). */
+    std::uint64_t colTiles = 0;
+    /** Row blocks folded (each walks colTiles/rowBlocks tiles). */
+    std::uint64_t rowBlocks = 0;
 };
 
 /**
@@ -123,6 +142,18 @@ class BatchSdtw
      */
     static constexpr std::size_t kDefaultSerialCutover = 4;
 
+    /**
+     * Query rows folded per block when the reference is tiled.  The
+     * block bounds how many sweeps' worth of carry state a tile edge
+     * parks, and each tile's columns are streamed once per block —
+     * 256 rows cuts the interleaved-state memory traffic 64x vs the
+     * untiled strip-4 walk while the carry slabs stay a few tens of
+     * KB.  Retire/refill happens at block edges, which is semantically
+     * identical because a block never exceeds the in-flight lanes'
+     * minimum remaining samples.
+     */
+    static constexpr std::size_t kMaxBlockRows = 256;
+
     explicit BatchSdtw(SdtwConfig config = hardwareConfig(),
                        std::size_t lane_capacity = kDefaultLaneCapacity,
                        SimdBackend backend = detectSimdBackend());
@@ -144,6 +175,25 @@ class BatchSdtw
      */
     void setSerialCutover(std::size_t min_lanes);
 
+    /**
+     * Column-tile width override: 0 restores the auto heuristic
+     * (sized so one tile's interleaved cost/dwell working set fits in
+     * about half the detected per-core L2), any other value forces
+     * that many columns per tile — tests force tiny tiles, benches
+     * force SIZE_MAX for an untiled A/B.  The SF_SDTW_TILE_COLS
+     * environment knob sets the same override at construction.
+     */
+    void setTileCols(std::size_t cols);
+    /** The configured override (0 = auto heuristic). */
+    std::size_t tileCols() const { return tileCols_; }
+    /**
+     * Tile width a batched fold of @p lanes in-flight lanes against a
+     * @p reference_len-column reference will actually use, override
+     * and heuristic applied (== reference_len when untiled).
+     */
+    std::size_t planTileCols(std::size_t reference_len,
+                             std::size_t lanes) const;
+
     const SdtwConfig &config() const { return engine_.config(); }
     SimdBackend backend() const { return backend_; }
     /** Lanes per vector instruction. */
@@ -164,6 +214,7 @@ class BatchSdtw
     std::size_t width_ = 1;
     std::size_t capacity_ = kDefaultLaneCapacity;
     std::size_t serialCutover_ = kDefaultSerialCutover;
+    std::size_t tileCols_ = 0; //!< column-tile override, 0 = auto
     FoldStats foldStats_{};
     Cost bonusUnit_ = 0;
     detail::FoldRowFns fold_{};
@@ -172,6 +223,8 @@ class BatchSdtw
     std::vector<Cost> rows_;
     std::vector<std::uint8_t> dwell_;
     std::vector<std::int32_t> qlane_;
+    // Per-sweep tile-edge register carry slabs (see batch_kernel.hpp).
+    std::vector<Cost> carry_;
 };
 
 } // namespace sf::sdtw

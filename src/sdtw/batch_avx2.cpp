@@ -4,6 +4,9 @@
  * op.  This translation unit is compiled with -mavx2 (see
  * CMakeLists.txt) and only ever executed after runtime CPU dispatch
  * confirms AVX2 support, so the rest of the library stays portable.
+ * Tile-edge carry state (batch_kernel.hpp) moves through the same
+ * unaligned loadU32/storeU32 helpers as the DP rows, so the column-
+ * tiled walk costs no extra Ops surface.
  */
 
 #include "sdtw/batch_kernel.hpp"

@@ -4,6 +4,9 @@
  * vector op, with mask registers making every select a single
  * masked-blend.  Compiled with -mavx512f/bw/vl (see CMakeLists.txt)
  * and executed only after runtime CPU dispatch confirms support.
+ * Tile-edge carry state (batch_kernel.hpp) moves through the same
+ * unaligned loadU32/storeU32 helpers as the DP rows, so the column-
+ * tiled walk costs no extra Ops surface.
  */
 
 #include "sdtw/batch_kernel.hpp"

@@ -45,6 +45,22 @@
 
 namespace sf::sdtw::detail {
 
+/** Strip rows a carry slab reserves per plane (the deepest strip any
+ * backend offers; shallower sweeps simply leave the tail unused). */
+inline constexpr std::size_t kCarryStrip = 4;
+/** Register planes one sweep carries across a tile edge: inPrev,
+ * dwPrev, and (reference-deletion configs only) outPrev. */
+inline constexpr std::size_t kCarryPlanes = 3;
+
+/** Cost slots one sweep's tile-carry slab occupies for a given lane
+ * stride; plane p, strip row t lives at `(p * kCarryStrip + t) *
+ * stride + lane`. */
+inline constexpr std::size_t
+carrySlots(std::size_t stride)
+{
+    return kCarryPlanes * kCarryStrip * stride;
+}
+
 /**
  * Fold N query samples per lane (a row strip) into the interleaved
  * DP state.  Strip-mining is the key throughput lever: one sweep
@@ -53,22 +69,39 @@ namespace sf::sdtw::detail {
  * N ways and the kernel stays vector-ALU-bound instead of splitting
  * its port budget with bookkeeping.
  *
+ * Column tiling: the driver may hand the sweep a sub-range of the
+ * reference (a cache-sized tile) instead of all of it.  The sweep's
+ * horizontal register state (inPrev/dwPrev/outPrev per strip row) is
+ * then parked in @p carry at the tile edge and reloaded when the same
+ * sweep resumes on the next tile, so a tiled walk computes exactly
+ * the cell sequence an untiled one would — bit for bit.
+ *
  * @param q       widened per-lane query samples, `[row t][lane]` as
  *                `q[t * stride + lane]`, N rows
- * @param ref     shared reference squiggle, length @p m
+ * @param ref     shared reference squiggle, length @p m — for a tile,
+ *                already offset to the tile's first column
+ * @param m       columns in this tile (the whole reference when the
+ *                driver is not tiling)
  * @param stride  lane count B of the interleaved layout (multiple of
  *                Ops::W)
  * @param groups  vector groups to actually process (occupancy
  *                optimisation; groups * Ops::W <= stride)
- * @param rows    interleaved cost rows `[j * stride + lane]`, updated
- *                in place
+ * @param rows    interleaved cost rows `[j * stride + lane]` of the
+ *                tile (offset like @p ref), updated in place
  * @param dwell   interleaved capped dwell counters, same layout
+ * @param carry   this sweep's boundary-state slab of carrySlots()
+ *                Cost slots, or nullptr when the walk is untiled
+ * @param lead_tile true on the reference's first tile: the sweep runs
+ *                the first-column (vertical-only) recurrence and seeds
+ *                the carry; false resumes from @p carry (which must
+ *                then be non-null)
  */
 using FoldRowFn = void (*)(const std::int32_t *q, const NormSample *ref,
                            std::size_t m, std::size_t stride,
                            std::size_t groups, Cost *rows,
                            std::uint8_t *dwell, Cost bonus_unit,
-                           std::uint8_t cap);
+                           std::uint8_t cap, Cost *carry,
+                           bool lead_tile);
 
 /** Strip variants a backend offers; the driver picks the deepest one
  * every in-flight lane has enough remaining samples for. */
@@ -128,6 +161,11 @@ enum class BonusMode {
  * last row of the strip touches memory on the way out, so the
  * per-column load/store/pack/broadcast overhead is amortised over N
  * folded rows and the sweep stays vector-ALU-bound.
+ *
+ * When the driver tiles the reference, the same horizontal register
+ * state is saved to / restored from @p carry at tile edges (see
+ * FoldRowFn); the arithmetic per cell and its input provenance are
+ * unchanged, so tiled and untiled walks agree bit for bit.
  */
 template <class Ops, bool Squared, bool RefDel, BonusMode Bonus, int N>
 void
@@ -136,7 +174,8 @@ foldRowBatch(const std::int32_t *SF_BATCH_RESTRICT q,
              std::size_t stride, std::size_t groups,
              Cost *SF_BATCH_RESTRICT rows,
              std::uint8_t *SF_BATCH_RESTRICT dwell, Cost bonus_unit,
-             std::uint8_t cap)
+             std::uint8_t cap, Cost *SF_BATCH_RESTRICT carry,
+             bool lead_tile)
 {
     using Vec = typename Ops::Vec;
     constexpr bool UseBonus = Bonus != BonusMode::Off;
@@ -164,9 +203,13 @@ foldRowBatch(const std::int32_t *SF_BATCH_RESTRICT q,
         // Carried per-row register state, one column behind.
         Vec inPrev[std::size_t(N)], dwPrev[std::size_t(N)],
             outPrev[std::size_t(N)];
+        Cost *SF_BATCH_RESTRICT cb =
+            carry != nullptr ? carry + base : nullptr;
 
-        // First column: only the vertical predecessor exists.
-        {
+        std::size_t j0 = 1;
+        if (lead_tile) {
+            // First column of the reference: only the vertical
+            // predecessor exists.
             const Vec refv = Ops::broadcast(std::int32_t(ref[0]));
             Vec in = Ops::loadU32(r);
             Vec dw = Ops::loadDwell(d);
@@ -185,9 +228,24 @@ foldRowBatch(const std::int32_t *SF_BATCH_RESTRICT q,
             }
             Ops::storeU32(r, in);
             Ops::storeDwell(d, dw);
+        } else {
+            // Later tile: resume this sweep's horizontal state from
+            // the carry slab the previous tile parked it in; the
+            // tile's first column then runs the general recurrence.
+            for (int t = 0; t < N; ++t) {
+                const auto ts = std::size_t(t);
+                inPrev[ts] =
+                    Ops::loadU32(cb + (0 * kCarryStrip + ts) * stride);
+                dwPrev[ts] =
+                    Ops::loadU32(cb + (1 * kCarryStrip + ts) * stride);
+                if constexpr (RefDel)
+                    outPrev[ts] = Ops::loadU32(
+                        cb + (2 * kCarryStrip + ts) * stride);
+            }
+            j0 = 0;
         }
 
-        for (std::size_t j = 1; j < m; ++j) {
+        for (std::size_t j = j0; j < m; ++j) {
             Cost *SF_BATCH_RESTRICT rj = r + j * stride;
             std::uint8_t *SF_BATCH_RESTRICT dj = d + j * stride;
             const Vec refv = Ops::broadcast(std::int32_t(ref[j]));
@@ -228,6 +286,20 @@ foldRowBatch(const std::int32_t *SF_BATCH_RESTRICT q,
             }
             Ops::storeU32(rj, in);
             Ops::storeDwell(dj, dw);
+        }
+
+        if (cb != nullptr) {
+            // Park the horizontal state for this sweep's next tile.
+            for (int t = 0; t < N; ++t) {
+                const auto ts = std::size_t(t);
+                Ops::storeU32(cb + (0 * kCarryStrip + ts) * stride,
+                              inPrev[ts]);
+                Ops::storeU32(cb + (1 * kCarryStrip + ts) * stride,
+                              dwPrev[ts]);
+                if constexpr (RefDel)
+                    Ops::storeU32(cb + (2 * kCarryStrip + ts) * stride,
+                                  outPrev[ts]);
+            }
         }
     }
 }

@@ -3,6 +3,9 @@
  * SSE2 backend of the lane-batched sDTW kernel: 4 reads per vector
  * op, baseline x86-64 — no SSE4.1 instructions, so the epi32 min/
  * mullo/blend helpers are emulated with compare + mask arithmetic.
+ * Tile-edge carry state (batch_kernel.hpp) moves through the same
+ * unaligned loadU32/storeU32 helpers as the DP rows, so the column-
+ * tiled walk costs no extra Ops surface.
  */
 
 #include "sdtw/batch_kernel.hpp"

@@ -8,6 +8,7 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "common/topology.hpp"
 #include "sdtw/batch.hpp"
 #include "signal/chunk_source.hpp"
 #include "stream/chunk_queue.hpp"
@@ -86,9 +87,18 @@ class LocalDecisionService final : public DecisionService
                          const SessionConfig &config)
         : queue_(config.queueCapacity)
     {
+        // Node-compact worker placement (wall-clock only: pinning
+        // must never change a decision, see SessionConfig).
+        const std::vector<int> placement =
+            config.pinWorkers ? topo::planPlacement(config.workers)
+                              : std::vector<int>{};
         workers_.reserve(config.workers);
         for (unsigned w = 0; w < config.workers; ++w) {
-            workers_.emplace_back([this, kernel_config, config]() {
+            const int cpu = config.pinWorkers ? placement[w] : -1;
+            workers_.emplace_back([this, kernel_config, config,
+                                   cpu]() {
+                if (cpu >= 0)
+                    topo::pinThreadToCpu(cpu);
                 // Each worker owns a lane-batch kernel sized to its
                 // dispatch pull, so one pull's cross-channel requests
                 // fold as one SIMD batch.  The serial path is kept

@@ -61,6 +61,14 @@ struct SessionConfig
      * only wall-clock throughput changes.
      */
     bool laneBatching = true;
+    /**
+     * Pin worker threads to cpus (node-compact placement via
+     * sf::topo::planPlacement) so each worker's per-worker BatchSdtw
+     * scratch stays resident on one NUMA node.  Pure wall-clock
+     * placement — the decision log is bit-identical either way — and
+     * a graceful no-op on hosts without affinity support.
+     */
+    bool pinWorkers = false;
     std::uint64_t seed = 0x5f5f;        //!< master seed (capture delays)
     double maxVirtualHours = 24.0;      //!< safety stop
 

@@ -456,38 +456,233 @@ TEST(BatchSdtwTest, GoldenCostsMatchSeedImplementation)
         {2, 4, 14908, 1606},  {2, 5, 971418, 1597},
         {2, 6, 13602, 1629},  {2, 7, 676085, 1704},
     };
-    for (SimdBackend backend : availableBackends()) {
-        for (const auto &g : golden) {
-            Rng rng(g.seed);
-            const auto query = randomQuantSignal(400, rng);
-            const auto ref = randomQuantSignal(3000, rng);
-            SdtwConfig config = hardwareConfig();
-            if (g.cfg & 1)
-                config.metric = CostMetric::SquaredDifference;
-            if (g.cfg & 2)
-                config.allowReferenceDeletion = true;
-            if (g.cfg & 4)
-                config.matchBonus = 0.0;
+    // tile 0 = the auto heuristic (one tile at this reference size);
+    // tile 37 forces ~81 tiny tiles so every pinned cost is also
+    // reproduced through the tile-edge carry path, all 8 configs.
+    for (const std::size_t tile : {std::size_t(0), std::size_t(37)}) {
+        for (SimdBackend backend : availableBackends()) {
+            for (const auto &g : golden) {
+                Rng rng(g.seed);
+                const auto query = randomQuantSignal(400, rng);
+                const auto ref = randomQuantSignal(3000, rng);
+                SdtwConfig config = hardwareConfig();
+                if (g.cfg & 1)
+                    config.metric = CostMetric::SquaredDifference;
+                if (g.cfg & 2)
+                    config.allowReferenceDeletion = true;
+                if (g.cfg & 4)
+                    config.matchBonus = 0.0;
 
-            // Duplicate the read across several lanes; each must
-            // reproduce the pinned cost independently.
-            std::vector<QuantSdtw::State> states(6);
-            std::vector<BatchLane> lanes(6);
-            for (std::size_t i = 0; i < lanes.size(); ++i) {
-                lanes[i].state = &states[i];
-                lanes[i].query = query;
-            }
-            BatchSdtw kernel(config, 8, backend);
-            kernel.setSerialCutover(0);
-            kernel.processMany(lanes, ref);
-            for (const auto &lane : lanes) {
-                EXPECT_EQ(lane.result.cost, g.cost)
-                    << simdBackendName(backend) << " seed=" << g.seed
-                    << " cfg=" << g.cfg;
-                EXPECT_EQ(lane.result.refEnd, g.refEnd);
+                // Duplicate the read across several lanes; each must
+                // reproduce the pinned cost independently.
+                std::vector<QuantSdtw::State> states(6);
+                std::vector<BatchLane> lanes(6);
+                for (std::size_t i = 0; i < lanes.size(); ++i) {
+                    lanes[i].state = &states[i];
+                    lanes[i].query = query;
+                }
+                BatchSdtw kernel(config, 8, backend);
+                kernel.setSerialCutover(0);
+                kernel.setTileCols(tile);
+                kernel.processMany(lanes, ref);
+                for (const auto &lane : lanes) {
+                    EXPECT_EQ(lane.result.cost, g.cost)
+                        << simdBackendName(backend)
+                        << " seed=" << g.seed << " cfg=" << g.cfg
+                        << " tile=" << tile;
+                    EXPECT_EQ(lane.result.refEnd, g.refEnd);
+                }
             }
         }
     }
+}
+
+// ---------------------------------------------------------------- //
+//           column tiling: carry state across tile edges            //
+// ---------------------------------------------------------------- //
+
+TEST(BatchTilingTest, TileBoundaryWidthsBitIdenticalAllConfigs)
+{
+    // Tile widths around the vector width W and the reference length:
+    // one-column tiles maximise carry traffic (every column is a tile
+    // edge), W-1/W/3W+1 misalign tile edges against vector groups,
+    // and >= m collapses to the untiled walk.  Ragged lanes keep the
+    // block scheduler honest while every config combo runs.
+    Rng rng(0x711eULL);
+    const std::size_t m = 97;
+    const auto ref = randomQuantSignal(m, rng);
+    const std::size_t b = 9;
+    std::vector<std::vector<NormSample>> queries(b);
+    for (auto &q : queries)
+        q = randomQuantSignal(std::size_t(rng.uniformInt(1, 70)), rng);
+
+    for (const SdtwConfig &config : allConfigs()) {
+        for (SimdBackend backend : availableBackends()) {
+            const std::size_t w = simdLaneWidth(backend);
+            const std::size_t tile_sizes[] = {
+                1, w > 1 ? w - 1 : 1, w, 3 * w + 1, m, m + 13};
+            for (const std::size_t tile : tile_sizes) {
+                std::vector<QuantSdtw::State> states(b);
+                std::vector<BatchLane> lanes(b);
+                for (std::size_t i = 0; i < b; ++i) {
+                    lanes[i].state = &states[i];
+                    lanes[i].query = queries[i];
+                }
+                BatchSdtw kernel(config, 8, backend);
+                kernel.setSerialCutover(0);
+                kernel.setTileCols(tile);
+                kernel.processMany(lanes, ref);
+                expectMatchesSerial(
+                    config, lanes, ref,
+                    std::vector<QuantSdtw::State>(b),
+                    simdBackendName(backend));
+            }
+        }
+    }
+}
+
+TEST(BatchTilingTest, CheckpointResumeOnAndStraddlingTileEdges)
+{
+    // Checkpointed chunked streaming under a forced 16-column tile,
+    // with the reference length an exact tile multiple (the last tile
+    // edge lands on the final column) and a non-multiple (the last
+    // tile straddles it).  Each chunk's resume must reload the
+    // checkpoint into a freshly tiled walk bit-exactly.
+    Rng rng(0x7ed6eULL);
+    const std::size_t tile = 16;
+    for (const std::size_t m : {std::size_t(64), std::size_t(71)}) {
+        const auto ref = randomQuantSignal(m, rng);
+        const auto query = randomQuantSignal(90, rng);
+        const QuantSdtw engine(hardwareConfig());
+        const auto one_shot = engine.align(query, ref);
+
+        for (SimdBackend backend : availableBackends()) {
+            BatchSdtw kernel(hardwareConfig(), 8, backend);
+            kernel.setSerialCutover(0);
+            kernel.setTileCols(tile);
+            QuantSdtw::State state, serial_state;
+            QuantSdtw::Result last{};
+            std::size_t offset = 0;
+            std::uint64_t noise_seed = 0;
+            while (offset < query.size()) {
+                const auto len = std::min<std::size_t>(
+                    std::size_t(rng.uniformInt(1, 25)),
+                    query.size() - offset);
+                const auto chunk =
+                    std::span<const NormSample>(query).subspan(offset,
+                                                               len);
+                Rng noise(++noise_seed);
+                auto decoy_q = randomQuantSignal(30, noise);
+                QuantSdtw::State decoy_state;
+                std::vector<BatchLane> lanes(2);
+                lanes[0].state = &state;
+                lanes[0].query = chunk;
+                lanes[1].state = &decoy_state;
+                lanes[1].query = decoy_q;
+                kernel.processMany(lanes, ref);
+                last = lanes[0].result;
+                const auto want =
+                    engine.process(chunk, ref, serial_state);
+                ASSERT_EQ(last.cost, want.cost)
+                    << simdBackendName(backend) << " m=" << m
+                    << " offset=" << offset;
+                ASSERT_EQ(state.row, serial_state.row);
+                ASSERT_EQ(state.dwell, serial_state.dwell);
+                offset += len;
+            }
+            EXPECT_EQ(last.cost, one_shot.cost)
+                << simdBackendName(backend) << " m=" << m;
+            EXPECT_EQ(last.refEnd, one_shot.refEnd);
+            EXPECT_EQ(last.rows, query.size());
+        }
+    }
+}
+
+TEST(BatchTilingTest, MidBatchRefillInsideATile)
+{
+    // The refill stress test under a 7-column tile that divides
+    // neither the 150-column reference nor any vector width: slots
+    // freed at block edges are reloaded and their next block walks
+    // the tiles from a fresh lead tile.
+    Rng rng(0x5e71ULL);
+    const auto ref = randomQuantSignal(150, rng);
+    const std::size_t b = 40;
+    std::vector<std::vector<NormSample>> queries(b);
+    for (std::size_t i = 0; i < b; ++i) {
+        const std::size_t len =
+            (i % 3 == 0) ? 150 : (i % 3 == 1 ? 3 : 40);
+        queries[i] = randomQuantSignal(len, rng);
+    }
+
+    for (SimdBackend backend : availableBackends()) {
+        std::vector<QuantSdtw::State> states(b);
+        std::vector<BatchLane> lanes(b);
+        for (std::size_t i = 0; i < b; ++i) {
+            lanes[i].state = &states[i];
+            lanes[i].query = queries[i];
+        }
+        BatchSdtw kernel(hardwareConfig(), 8, backend);
+        kernel.setSerialCutover(0);
+        kernel.setTileCols(7);
+        kernel.processMany(lanes, ref);
+        expectMatchesSerial(hardwareConfig(), lanes, ref,
+                            std::vector<QuantSdtw::State>(b),
+                            simdBackendName(backend));
+    }
+}
+
+TEST(BatchTilingTest, TileColsEnvKnobParsesAndOverrides)
+{
+    ASSERT_EQ(setenv("SF_SDTW_TILE_COLS", "9", 1), 0);
+    {
+        const BatchSdtw kernel(hardwareConfig());
+        EXPECT_EQ(kernel.tileCols(), 9u);
+        EXPECT_EQ(kernel.planTileCols(100, 4), 9u);
+        EXPECT_EQ(kernel.planTileCols(5, 4), 5u); // clamped to ref
+    }
+    ASSERT_EQ(unsetenv("SF_SDTW_TILE_COLS"), 0);
+    BatchSdtw kernel(hardwareConfig());
+    EXPECT_EQ(kernel.tileCols(), 0u); // auto heuristic
+    const std::size_t ref_len = std::size_t(1) << 20;
+    const std::size_t t = kernel.planTileCols(ref_len, 16);
+    EXPECT_GE(t, 1u);
+    EXPECT_LE(t, ref_len);
+    kernel.setTileCols(SIZE_MAX); // the benches' untiled A/B switch
+    EXPECT_EQ(kernel.planTileCols(ref_len, 16), ref_len);
+    kernel.setTileCols(0);
+    EXPECT_EQ(kernel.planTileCols(ref_len, 16), t);
+}
+
+TEST(BatchTilingTest, FoldStatsCountTilesAndBlocks)
+{
+    Rng rng(0x7c3aULL);
+    const std::size_t m = 95;
+    const auto ref = randomQuantSignal(m, rng);
+    const std::size_t b = 6;
+    std::vector<std::vector<NormSample>> queries(b);
+    for (auto &q : queries)
+        q = randomQuantSignal(30, rng); // equal lengths: one block
+
+    const auto fold = [&](std::size_t tile) {
+        std::vector<QuantSdtw::State> states(b);
+        std::vector<BatchLane> lanes(b);
+        for (std::size_t i = 0; i < b; ++i) {
+            lanes[i].state = &states[i];
+            lanes[i].query = queries[i];
+        }
+        BatchSdtw kernel(hardwareConfig());
+        kernel.setSerialCutover(0);
+        kernel.setTileCols(tile);
+        kernel.processMany(lanes, ref);
+        return kernel.foldStats();
+    };
+
+    const FoldStats tiled = fold(10); // ceil(95 / 10) = 10 tiles
+    EXPECT_EQ(tiled.rowBlocks, 1u);
+    EXPECT_EQ(tiled.colTiles, 10u);
+    const FoldStats untiled = fold(SIZE_MAX);
+    EXPECT_EQ(untiled.rowBlocks, 1u);
+    EXPECT_EQ(untiled.colTiles, 1u);
 }
 
 // ---------------------------------------------------------------- //
