@@ -27,6 +27,12 @@
 #                                # build-tidy/tidy-report.txt
 #   scripts/check.sh --lint      # scripts/sf_lint.py standalone.
 #                                # Report: build/sf_lint/report.txt
+#   scripts/check.sh --soak      # hostile-conditions soak gate
+#                                # (scripts/soak_gate.sh): a faulted
+#                                # 8-session fleet swept over worker
+#                                # counts, gated on chunk conservation,
+#                                # determinism and the deadlock budget.
+#                                # Report: build/soak/
 #
 # All modes exit non-zero on the first failure.  BUILD_DIR overrides
 # the build directory (the sanitize/tsan/tidy modes default to their
@@ -46,8 +52,9 @@ case "${1:-}" in
     --tsan) mode="tsan" ;;
     --tidy) mode="tidy" ;;
     --lint) mode="lint" ;;
+    --soak) mode="soak" ;;
     *)
-        echo "usage: $0 [--smoke|--quick|--sanitize|--tsan|--tidy|--lint]" >&2
+        echo "usage: $0 [--smoke|--quick|--sanitize|--tsan|--tidy|--lint|--soak]" >&2
         exit 2
         ;;
 esac
@@ -63,6 +70,13 @@ if [[ "${mode}" == "lint" ]]; then
         --report "${report_dir}/report.txt"
     echo "lint: sf-lint clean (report: ${report_dir}/report.txt)"
     exit 0
+fi
+
+if [[ "${mode}" == "soak" ]]; then
+    # Delegates to the soak gate (which configures/builds what it
+    # needs); kept as a check.sh mode so CI and developers share one
+    # entry point.
+    exec "${repo_root}/scripts/soak_gate.sh"
 fi
 
 if [[ "${mode}" == "tidy" ]]; then

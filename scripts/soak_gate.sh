@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Hostile-conditions soak gate for CI (see docs/OPERATIONS.md).
+#
+# Builds and runs bench_soak: an SF_SOAK_SESSIONS-session fleet (>= 8
+# for the gate) driven through a scripted fault schedule — dropouts,
+# capture storms, pore wear + wash, reference hot-swap — once per
+# worker count in SF_SOAK_WORKERS (default 1,4,8).  The gate fails
+# when:
+#   - the sweep does not finish inside SF_SOAK_BUDGET_SEC (default
+#     600 s): the deadlock guard — a hung queue or a lost wakeup shows
+#     up here as a timeout, not as a silently cancelled job;
+#   - any session of any pass dropped a chunk (chunksEmitted !=
+#     chunksFolded + chunksAborted — the engine also panics
+#     internally on violation);
+#   - any session's decision log or degradation ledger differs
+#     between worker counts (determinism under faults);
+#   - the fault schedule did not actually bite (zero fault events
+#     would mean the soak soaked nothing).
+#
+# Every run writes an inspectable report to ${build_dir}/soak/
+# (full harness output, the BENCH_SOAK_JSON line, and a PASS/FAIL
+# summary); CI uploads that directory as a workflow artifact.
+#
+# Usage:
+#   scripts/soak_gate.sh
+#
+# Knobs (all documented in docs/OPERATIONS.md):
+#   SF_SOAK_SESSIONS    fleet size            (default 8)
+#   SF_SOAK_WORKERS     worker counts, csv    (default 1,4,8)
+#   SF_SOAK_READS       reads per session     (default 24)
+#   SF_SOAK_CHANNELS    pores per session     (default 8)
+#   SF_SOAK_BUDGET_SEC  wall budget, seconds  (default 600)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build}"
+budget="${SF_SOAK_BUDGET_SEC:-600}"
+
+cd "${repo_root}"
+cmake -B "${build_dir}" -S . >/dev/null
+cmake --build "${build_dir}" -j --target bench_soak >/dev/null
+
+report_dir="${build_dir}/soak"
+mkdir -p "${report_dir}"
+run_log="${report_dir}/soak-run.txt"
+summary="${report_dir}/summary.txt"
+: >"${summary}"
+
+# Deadlock guard: a soak that hangs (blocked producer never woken,
+# worker retired on an open queue, quiesce that never completes) is
+# killed by the budget and fails loudly.
+soak_status=0
+timeout --signal=KILL "${budget}" \
+    "${build_dir}/bench_soak" >"${run_log}" 2>&1 || soak_status=$?
+
+if [[ ${soak_status} -eq 137 || ${soak_status} -eq 124 ]]; then
+    {
+        echo "soak gate: FAILED — bench_soak exceeded the"
+        echo "${budget}s budget (SF_SOAK_BUDGET_SEC); treating the"
+        echo "hang as a deadlock.  Full output: ${run_log}"
+        tail -40 "${run_log}" || true
+    } | tee -a "${summary}" >&2
+    exit 1
+fi
+
+soak_line="$(grep '^BENCH_SOAK_JSON ' "${run_log}" |
+    sed 's/^BENCH_SOAK_JSON //' || true)"
+if [[ -z "${soak_line}" ]]; then
+    {
+        echo "soak gate: FAILED — bench_soak produced no"
+        echo "BENCH_SOAK_JSON line (exit ${soak_status})."
+        tail -40 "${run_log}" || true
+    } | tee -a "${summary}" >&2
+    exit 1
+fi
+printf '%s\n' "${soak_line}" >"${report_dir}/soak.json"
+echo "measured soak: ${soak_line}" | tee -a "${summary}"
+
+if [[ ${soak_status} -ne 0 ]]; then
+    {
+        echo "soak gate: FAILED — bench_soak exited ${soak_status}"
+        echo "(invariant violation; see ${run_log})."
+    } | tee -a "${summary}" >&2
+    exit 1
+fi
+
+python3 - "${soak_line}" <<'EOF' | tee -a "${summary}"
+import json, sys
+
+m = json.loads(sys.argv[1])
+failures = []
+
+def check(cond, ok_msg, fail_msg):
+    print(f"  [{'OK ' if cond else 'FAIL'}] {ok_msg if cond else fail_msg}")
+    if not cond:
+        failures.append(fail_msg)
+
+check(m["sessions"] >= 8,
+      f"fleet size {m['sessions']} (>= 8)",
+      f"fleet size {m['sessions']} below the 8-session gate floor")
+check(len(m["worker_counts"]) >= 2,
+      f"worker counts swept: {m['worker_counts']}",
+      "fewer than two worker counts swept — determinism not exercised")
+check(m["conserved"],
+      f"chunk conservation holds ({m['chunks_emitted']} emitted = "
+      f"{m['chunks_folded']} folded + {m['chunks_aborted']} aborted)",
+      "a chunk was dropped (emitted != folded + aborted)")
+check(m["logs_match"],
+      "decision logs bit-identical across all worker counts",
+      "decision logs diverged between worker counts")
+fault_events = (m["dropouts"] + m["storm_windows"] +
+                m["hot_swap_epochs"] + m["washes"] + m["worn_pores"])
+check(fault_events > 0,
+      f"fault schedule bit: {m['dropouts']} dropouts, "
+      f"{m['storm_windows']} storms, {m['hot_swap_epochs']} swaps, "
+      f"{m['washes']} washes, {m['worn_pores']} pores worn",
+      "no fault events fired — the soak soaked nothing")
+print(f"  [inf] {m['aborted_reads']} reads aborted, "
+      f"{m['revived_pores']} pores revived, "
+      f"{m['dead_channels']} channels dead at end, "
+      f"{m['backpressure_stalls']} backpressure stalls, "
+      f"wall {m['wall_s']:.1f}s")
+
+if failures:
+    sys.exit("soak gate failed on: " + "; ".join(failures))
+EOF
+
+echo "soak gate: green (budget ${budget}s; report: ${report_dir})" |
+    tee -a "${summary}"

@@ -47,6 +47,17 @@ appendNumber(std::string &out, std::uint64_t v)
     out += std::to_string(v);
 }
 
+/** The four kernel-affecting SdtwConfig switches agree (worker
+    kernels are shared, so every classifier a fleet may run — primary
+    or hot-swap target — must match the fleet's shape). */
+bool
+kernelConfigsAgree(const sdtw::SdtwConfig &a, const sdtw::SdtwConfig &b)
+{
+    return a.metric == b.metric &&
+           a.allowReferenceDeletion == b.allowReferenceDeletion &&
+           a.matchBonus == b.matchBonus && a.dwellCap == b.dwellCap;
+}
+
 } // namespace
 
 std::string
@@ -78,6 +89,28 @@ FleetSnapshot::toJson() const
         j += ':';
         appendNumber(j, dispatchesByClass[c]);
     }
+    j += "},\"fault_ledger\":{\"backpressure_stalls\":";
+    appendNumber(j, faults.backpressureStalls);
+    j += ",\"dead_channels\":";
+    appendNumber(j, faults.deadChannels);
+    j += ",\"recovering_channels\":";
+    appendNumber(j, faults.recoveringChannels);
+    j += ",\"dropouts\":";
+    appendNumber(j, faults.dropouts);
+    j += ",\"recoveries\":";
+    appendNumber(j, faults.recoveries);
+    j += ",\"aborted_reads\":";
+    appendNumber(j, faults.abortedReads);
+    j += ",\"worn_pores\":";
+    appendNumber(j, faults.poresWorn);
+    j += ",\"revived_pores\":";
+    appendNumber(j, faults.poresRevived);
+    j += ",\"washes\":";
+    appendNumber(j, faults.washes);
+    j += ",\"hot_swap_epochs\":";
+    appendNumber(j, faults.hotSwapEpochs);
+    j += ",\"storm_windows\":";
+    appendNumber(j, faults.stormWindows);
     j += "},\"sessions\":[";
     for (std::size_t i = 0; i < sessions.size(); ++i) {
         const SessionSnapshot &s = sessions[i];
@@ -95,7 +128,35 @@ FleetSnapshot::toJson() const
         appendNumber(j, s.decisions);
         j += ",\"finished\":";
         j += s.finished ? "true" : "false";
-        j += '}';
+        j += ",\"degradation\":{\"backpressure_stalls\":";
+        appendNumber(j, s.backpressureStalls);
+        j += ",\"dead_channels\":";
+        appendNumber(j, s.deadChannels);
+        j += ",\"recovering_channels\":";
+        appendNumber(j, s.recoveringChannels);
+        j += ",\"dropouts\":";
+        appendNumber(j, s.dropouts);
+        j += ",\"recoveries\":";
+        appendNumber(j, s.recoveries);
+        j += ",\"aborted_reads\":";
+        appendNumber(j, s.abortedReads);
+        j += ",\"worn_pores\":";
+        appendNumber(j, s.poresWorn);
+        j += ",\"revived_pores\":";
+        appendNumber(j, s.poresRevived);
+        j += ",\"washes\":";
+        appendNumber(j, s.washes);
+        j += ",\"hot_swap_epochs\":";
+        appendNumber(j, s.hotSwapEpochs);
+        j += ",\"storm_windows\":";
+        appendNumber(j, s.stormWindows);
+        j += ",\"wear_hist\":[";
+        for (std::size_t b = 0; b < s.wearHistogram.size(); ++b) {
+            if (b != 0)
+                j += ',';
+            appendNumber(j, s.wearHistogram[b]);
+        }
+        j += "]}}";
     }
     j += "]}";
     return j;
@@ -132,14 +193,29 @@ FleetOrchestrator::addSession(SessionSpec spec)
         // MAY differ (folds are grouped per classifier).
         const sdtw::SdtwConfig &a =
             sessions_.front()->spec.classifier->config();
-        const sdtw::SdtwConfig &b = spec.classifier->config();
-        if (a.metric != b.metric ||
-            a.allowReferenceDeletion != b.allowReferenceDeletion ||
-            a.matchBonus != b.matchBonus || a.dwellCap != b.dwellCap)
+        if (!kernelConfigsAgree(a, spec.classifier->config()))
             fatal("FleetOrchestrator session '%s' disagrees with the "
                   "fleet on kernel SdtwConfig (metric/refdel/bonus/"
                   "dwell); fleets must be config-uniform",
                   spec.name.c_str());
+    }
+    if (spec.config.faults != nullptr) {
+        // Validate the fault plan — and any hot-swap target — up
+        // front, on the caller's thread: the driver threads of run()
+        // are no place for a fatal().  A swapped-in reference re-pins
+        // the session's captures while the fleet's worker kernels
+        // keep running, so swap targets obey the same uniformity rule
+        // as the sessions themselves.
+        spec.config.faults->validate(spec.config.channels);
+        const sdtw::SdtwConfig &a = spec.classifier->config();
+        for (const stream::ReferenceHotSwap &h :
+             spec.config.faults->hotSwaps)
+            if (!kernelConfigsAgree(a, h.classifier->config()))
+                fatal("FleetOrchestrator session '%s' schedules a "
+                      "hot swap whose classifier disagrees on kernel "
+                      "SdtwConfig; swaps may change the reference "
+                      "squiggle, not the kernel shape",
+                      spec.name.c_str());
     }
     const std::uint32_t id =
         queue_.registerSession(spec.qos, config_.sessionQuota);
@@ -313,6 +389,37 @@ FleetOrchestrator::snapshot() const
             state.live.decisions.load(std::memory_order_relaxed);
         s.finished =
             state.live.finished.load(std::memory_order_acquire);
+
+        const stream::LiveDegradation &d = state.live.degradation;
+        const auto rel = [](const std::atomic<std::uint64_t> &a) {
+            return a.load(std::memory_order_relaxed);
+        };
+        s.backpressureStalls = queue_.stalls(std::uint32_t(i));
+        s.deadChannels = rel(d.deadChannels);
+        s.recoveringChannels = rel(d.recoveringChannels);
+        s.dropouts = rel(d.dropouts);
+        s.recoveries = rel(d.recoveries);
+        s.abortedReads = rel(d.abortedReads);
+        s.poresWorn = rel(d.poresWorn);
+        s.poresRevived = rel(d.poresRevived);
+        s.washes = rel(d.washes);
+        s.hotSwapEpochs = rel(d.hotSwapEpochs);
+        s.stormWindows = rel(d.stormWindows);
+        for (std::size_t b = 0; b < s.wearHistogram.size(); ++b)
+            s.wearHistogram[b] = rel(d.wearBuckets[b]);
+
+        snap.faults.backpressureStalls += s.backpressureStalls;
+        snap.faults.deadChannels += s.deadChannels;
+        snap.faults.recoveringChannels += s.recoveringChannels;
+        snap.faults.dropouts += s.dropouts;
+        snap.faults.recoveries += s.recoveries;
+        snap.faults.abortedReads += s.abortedReads;
+        snap.faults.poresWorn += s.poresWorn;
+        snap.faults.poresRevived += s.poresRevived;
+        snap.faults.washes += s.washes;
+        snap.faults.hotSwapEpochs += s.hotSwapEpochs;
+        snap.faults.stormWindows += s.stormWindows;
+
         snap.chunksEmitted += s.chunksEmitted;
         snap.sessions.push_back(std::move(s));
     }

@@ -118,6 +118,40 @@ struct SessionSnapshot
     std::uint64_t chunksEmitted = 0;
     std::uint64_t decisions = 0;
     bool finished = false;
+
+    // ---- degradation ledger (see stream::FaultPlan) ----------------
+    /** Pushes that blocked on the shared queue (wall-clock only). */
+    std::uint64_t backpressureStalls = 0;
+    std::uint64_t deadChannels = 0;       //!< worn or permanently down
+    std::uint64_t recoveringChannels = 0; //!< inside an outage
+    std::uint64_t dropouts = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t abortedReads = 0;
+    std::uint64_t poresWorn = 0;
+    std::uint64_t poresRevived = 0;
+    std::uint64_t washes = 0;
+    std::uint64_t hotSwapEpochs = 0;
+    std::uint64_t stormWindows = 0;
+    /** Live per-channel wear histogram (kWearBuckets bins of [0,1]).
+        Mid-run the gauge is approximate (relaxed ticks); once the
+        session finished it equals the result's DegradationStats. */
+    std::array<std::uint64_t, stream::kWearBuckets> wearHistogram{};
+};
+
+/** Fleet-wide per-fault-class event totals (sum over sessions). */
+struct FaultLedger
+{
+    std::uint64_t backpressureStalls = 0;
+    std::uint64_t deadChannels = 0;
+    std::uint64_t recoveringChannels = 0;
+    std::uint64_t dropouts = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t abortedReads = 0;
+    std::uint64_t poresWorn = 0;
+    std::uint64_t poresRevived = 0;
+    std::uint64_t washes = 0;
+    std::uint64_t hotSwapEpochs = 0;
+    std::uint64_t stormWindows = 0;
 };
 
 /** Machine-readable live view of the whole fleet. */
@@ -136,9 +170,12 @@ struct FleetSnapshot
     double laneOccupancy = 0.0;
     /** Dispatches served per QoS class (index = QosClass). */
     std::array<std::uint64_t, kQosClasses> dispatchesByClass{};
+    /** Degradation totals across the fleet (fault injection). */
+    FaultLedger faults;
     std::vector<SessionSnapshot> sessions;
 
-    /** One-line JSON rendering (schema documented in the README). */
+    /** One-line JSON rendering.  Schema documented in
+        docs/OPERATIONS.md and pinned by SnapshotSchemaTest. */
     std::string toJson() const;
 };
 

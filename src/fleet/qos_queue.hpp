@@ -111,11 +111,20 @@ class QosBoundedQueue
             fatal("QosBoundedQueue push from unregistered session %u",
                   unsigned(session));
         SessionSlot &slot = sessions_[session];
-        notFull_.wait(lock, [&] {
+        const auto admitted_or_closed = [&] {
             return closed_ ||
                    (total_ < capacity_ &&
                     (slot.quota == 0 || slot.depth < slot.quota));
-        });
+        };
+        if (!admitted_or_closed()) {
+            // Backpressure stall: the push is about to block (queue
+            // at capacity or session over quota).  Wall-clock-only
+            // observability — a storm that saturates the queue shows
+            // up here, never as a dropped chunk.
+            ++slot.stalls;
+            ++stalls_;
+        }
+        notFull_.wait(lock, admitted_or_closed);
         if (closed_)
             return false;
         items_[std::size_t(slot.cls)].push_back(std::move(item));
@@ -239,6 +248,23 @@ class QosBoundedQueue
                                           : 0;
     }
 
+    /** Pushes of @p session that blocked (backpressure stalls). */
+    std::uint64_t
+    stalls(std::uint32_t session) const
+    {
+        std::lock_guard lock(mutex_);
+        return session < sessions_.size() ? sessions_[session].stalls
+                                          : 0;
+    }
+
+    /** Total pushes that blocked, across every session. */
+    std::uint64_t
+    totalStalls() const
+    {
+        std::lock_guard lock(mutex_);
+        return stalls_;
+    }
+
     /** Items currently queued across both classes (racy; for tests). */
     std::size_t
     size() const
@@ -254,8 +280,9 @@ class QosBoundedQueue
     struct SessionSlot
     {
         QosClass cls = QosClass::Research;
-        std::size_t quota = 0; //!< 0 = unlimited
-        std::size_t depth = 0; //!< queued requests right now
+        std::size_t quota = 0;     //!< 0 = unlimited
+        std::size_t depth = 0;     //!< queued requests right now
+        std::uint64_t stalls = 0;  //!< pushes that had to block
     };
 
     /** Session id of a queued item (T must expose .sessionId). */
@@ -297,6 +324,7 @@ class QosBoundedQueue
     std::size_t statBurst_ = 1;
     std::size_t statStreak_ = 0; //!< consecutive Stat dispatches
     std::size_t total_ = 0;
+    std::uint64_t stalls_ = 0;   //!< pushes that blocked, all sessions
     bool closed_ = false;
 };
 

@@ -8,6 +8,35 @@
 
 namespace sf::readuntil {
 
+PoreWear::PoreWear(const PoreWearModel &model, std::uint64_t seed,
+                   std::uint64_t channel)
+    : model_(model)
+{
+    if (model_.deathRatePerHour < 0.0 ||
+        model_.reversalWearFactor < 0.0 ||
+        model_.remuxRecovery < 0.0 || model_.remuxRecovery > 1.0)
+        fatal("invalid pore-wear parameters");
+    // The threshold stream is keyed off the wear seed alone, so the
+    // capture-delay RNG (derived from the session seed) is untouched:
+    // enabling wear must not shift any other random stream.
+    Rng rng = Rng::derive(seed, channel);
+    threshold_ = std::max(1e-12, rng.exponential(1.0));
+}
+
+bool
+PoreWear::tryRevive(Rng &rng)
+{
+    if (!worn())
+        return false;
+    if (!rng.bernoulli(model_.remuxRecovery))
+        return false;
+    // Fresh Exp(1) remaining lifetime on top of the hazard already
+    // accumulated: the pore is memoryless past the wash, which is the
+    // same assumption simulateFlowcellWear makes for the population.
+    threshold_ = hazard_ + std::max(1e-12, rng.exponential(1.0));
+    return true;
+}
+
 std::vector<ChannelSample>
 simulateFlowcellWear(FlowcellWearParams params)
 {

@@ -13,8 +13,13 @@
  * the same active-channel count.  This model reproduces that shape.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
+
+namespace sf {
+class Rng;
+}
 
 namespace sf::readuntil {
 
@@ -45,6 +50,90 @@ struct ChannelSample
  * active-channel traces.
  */
 std::vector<ChannelSample> simulateFlowcellWear(FlowcellWearParams params);
+
+/**
+ * Per-pore wear parameters — the same fig20 exponential-death model
+ * as FlowcellWearParams, recast as a hazard rate so it can advance on
+ * the streaming session's virtual clock pore by pore instead of as a
+ * population mean.  bench_fig20_flowcell derives the duty-based wear
+ * factor (1 + ejection-reversal duty) that readUntilWearFactor models
+ * in aggregate; here the reversal time itself carries the extra
+ * hazard, so the factor emerges from the session's actual eject rate.
+ */
+struct PoreWearModel
+{
+    /** Hazard accumulated per hour of normal sequencing bias. */
+    double deathRatePerHour = 0.025;
+    /** Hazard multiplier while the pore drives the ejection-reversal
+        voltage (fig20: Read Until wears pores slightly faster). */
+    double reversalWearFactor = 1.05;
+    /** Probability a nuclease wash + re-mux revives a worn pore. */
+    double remuxRecovery = 0.55;
+};
+
+/**
+ * One pore's wear state.  The pore accumulates hazard while it
+ * sequences (and faster while it reverses for an ejection) and dies
+ * when the hazard crosses a per-pore Exp(1) threshold drawn from
+ * Rng::derive(seed, channel) — which makes pore lifetimes
+ * exponentially distributed at deathRatePerHour, matching
+ * simulateFlowcellWear's population decay, while staying
+ * deterministic per (seed, channel) and independent of event order.
+ * A default-constructed PoreWear is inert (never wears).
+ */
+class PoreWear
+{
+  public:
+    PoreWear() = default;
+    PoreWear(const PoreWearModel &model, std::uint64_t seed,
+             std::uint64_t channel);
+
+    /** Advance wear by @p seconds of normal sequencing bias. */
+    void
+    sequenceFor(double seconds)
+    {
+        hazard_ += model_.deathRatePerHour * seconds / 3600.0;
+    }
+
+    /** Advance wear by @p seconds of ejection-reversal bias. */
+    void
+    reverseFor(double seconds)
+    {
+        hazard_ += model_.deathRatePerHour * model_.reversalWearFactor *
+                   seconds / 3600.0;
+    }
+
+    /** True once accumulated hazard crossed the pore's lifetime. */
+    bool
+    worn() const
+    {
+        return threshold_ > 0.0 && hazard_ >= threshold_;
+    }
+
+    /** Wear progress in [0, 1]; 1 = worn out. Inert pores report 0. */
+    double
+    wearFraction() const
+    {
+        return threshold_ > 0.0
+                   ? std::min(1.0, hazard_ / threshold_)
+                   : 0.0;
+    }
+
+    /**
+     * Wash + re-mux revival attempt: with probability remuxRecovery
+     * (drawn from @p rng) a worn pore gets a fresh Exp(1) remaining
+     * lifetime on top of its accumulated hazard.  Returns true if the
+     * pore was revived.  @p rng must be derived deterministically by
+     * the caller (e.g. per (wash index, channel)) to keep runs
+     * reproducible.
+     */
+    bool tryRevive(Rng &rng);
+
+  private:
+    PoreWearModel model_{};
+    double hazard_ = 0.0;
+    double threshold_ = 0.0; //!< 0 = inert (wear disabled)
+};
 
 } // namespace sf::readuntil
 

@@ -16,6 +16,7 @@
  * requests as SIMD lane batches with foldDispatch().
  */
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -28,6 +29,7 @@
 #include "common/logging.hpp"
 #include "common/types.hpp"
 #include "sdtw/filter.hpp"
+#include "stream/fault_plan.hpp"
 
 namespace sf::sdtw {
 class BatchSdtw;
@@ -121,6 +123,32 @@ struct DecisionRequest
 };
 
 /**
+ * Live degradation gauges a faulted session ticks as its event loop
+ * applies the FaultPlan, mirrored into fleet::SessionSnapshot.  All
+ * relaxed atomics: a mid-run snapshot may catch a gauge between the
+ * decrement and increment of a transition (e.g. a wear-bucket move),
+ * so cross-gauge sums are approximate until finished is true — after
+ * which they equal the deterministic DegradationStats of the result.
+ */
+struct LiveDegradation
+{
+    std::atomic<std::uint64_t> dropouts{0};
+    std::atomic<std::uint64_t> recoveries{0};
+    std::atomic<std::uint64_t> abortedReads{0};
+    std::atomic<std::uint64_t> poresWorn{0};
+    std::atomic<std::uint64_t> poresRevived{0};
+    std::atomic<std::uint64_t> washes{0};
+    std::atomic<std::uint64_t> hotSwapEpochs{0};
+    std::atomic<std::uint64_t> stormWindows{0};
+    /** Channels currently dead (worn out or permanently dropped). */
+    std::atomic<std::uint64_t> deadChannels{0};
+    /** Channels currently in a recoverable outage. */
+    std::atomic<std::uint64_t> recoveringChannels{0};
+    /** Live per-channel wearFraction histogram (kWearBuckets bins). */
+    std::array<std::atomic<std::uint64_t>, kWearBuckets> wearBuckets{};
+};
+
+/**
  * Live counters a session ticks while its event loop runs, so an
  * orchestrator's stats snapshot can report per-session progress
  * mid-run without waiting for the SessionResult.
@@ -130,6 +158,7 @@ struct SessionLiveCounters
     std::atomic<std::uint64_t> chunksEmitted{0};
     std::atomic<std::uint64_t> decisions{0};
     std::atomic<bool> finished{false};
+    LiveDegradation degradation;
 };
 
 /** Executes decision requests on behalf of one or many sessions. */

@@ -1,0 +1,52 @@
+#include "stream/fault_plan.hpp"
+
+#include "common/logging.hpp"
+
+namespace sf::stream {
+
+double
+FaultPlan::captureRateFactorAt(double t) const
+{
+    double factor = 1.0;
+    for (const CaptureStorm &s : storms)
+        if (t >= s.atSec && t < s.atSec + s.durationSec)
+            factor *= s.captureRateFactor;
+    return factor;
+}
+
+void
+FaultPlan::validate(int channels) const
+{
+    for (const ChannelDropout &d : dropouts) {
+        if (d.channel < 0 || d.channel >= channels)
+            fatal("FaultPlan dropout channel %d outside the flowcell "
+                  "(%d channels)",
+                  d.channel, channels);
+        if (d.atSec < 0.0)
+            fatal("FaultPlan dropout scheduled before t=0");
+    }
+    for (const CaptureStorm &s : storms) {
+        if (s.atSec < 0.0 || s.durationSec <= 0.0)
+            fatal("FaultPlan storm needs a non-negative start and a "
+                  "positive duration");
+        if (s.captureRateFactor <= 0.0)
+            fatal("FaultPlan storm capture-rate factor must be "
+                  "positive (it divides the capture delay)");
+    }
+    for (const ReferenceHotSwap &h : hotSwaps) {
+        if (h.atSec < 0.0)
+            fatal("FaultPlan hot swap scheduled before t=0");
+        if (h.classifier == nullptr)
+            fatal("FaultPlan hot swap has no classifier");
+    }
+    for (const NucleaseWash &w : washes)
+        if (w.atSec < 0.0)
+            fatal("FaultPlan wash scheduled before t=0");
+    if (wearEnabled &&
+        (wearModel.deathRatePerHour < 0.0 ||
+         wearModel.reversalWearFactor < 0.0 ||
+         wearModel.remuxRecovery < 0.0 || wearModel.remuxRecovery > 1.0))
+        fatal("FaultPlan wear model parameters out of range");
+}
+
+} // namespace sf::stream

@@ -34,6 +34,7 @@
 #include "common/types.hpp"
 #include "sdtw/filter.hpp"
 #include "signal/read.hpp"
+#include "stream/fault_plan.hpp"
 
 namespace sf::stream {
 
@@ -71,6 +72,14 @@ struct SessionConfig
     bool pinWorkers = false;
     std::uint64_t seed = 0x5f5f;        //!< master seed (capture delays)
     double maxVirtualHours = 24.0;      //!< safety stop
+    /**
+     * Optional scripted fault schedule (dropouts, storms, wear, hot
+     * swaps — see FaultPlan); must outlive the run.  Faults fire on
+     * the virtual clock, so the decision log stays bit-identical for
+     * a fixed (seed, config, reads, plan) across worker counts and
+     * fleet mixes.  nullptr = clean flowcell.
+     */
+    const FaultPlan *faults = nullptr;
 
     /** Raw samples per chunk. */
     std::size_t
@@ -135,6 +144,9 @@ struct SessionStats
      * every processed read to completion.
      */
     double enrichmentFactor = 1.0;
+
+    /** Fault/degradation ledger (all-zero on a clean flowcell). */
+    DegradationStats degradation;
 
     /** Work advantage of checkpointing (>= 1). */
     double

@@ -15,6 +15,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,6 +30,7 @@
 #include "fleet/qos_queue.hpp"
 #include "pipeline/experiments.hpp"
 #include "sdtw/filter.hpp"
+#include "stream/fault_plan.hpp"
 #include "stream/session.hpp"
 
 namespace sf::fleet {
@@ -276,6 +284,123 @@ TEST(QosQueueTest, LingerFillTargetIsTheServedClassNotTheTotal)
         << "linger ended on total depth instead of the served class";
 }
 
+// ---- capture storms against the shared queue --------------------- //
+
+TEST(QosQueueTest, StormBurstOverCapacityBlocksAndNeverDrops)
+{
+    // A capture storm models many sessions bursting chunks far faster
+    // than the pool drains them.  The admission contract is throttle,
+    // never drop: with the burst an order of magnitude over capacity,
+    // every item must still be delivered exactly once, and the stall
+    // counters must show the backpressure that absorbed it.
+    constexpr std::size_t kProducers = 3;
+    constexpr int kPerProducer = 40;
+    QosBoundedQueue<Item> queue(4, /*statBurst=*/4);
+    std::vector<std::uint32_t> ids;
+    for (std::size_t p = 0; p < kProducers; ++p)
+        ids.push_back(queue.registerSession(QosClass::Research, 0));
+
+    std::mutex seen_mutex;
+    std::multiset<int> seen;
+    std::thread consumer([&] {
+        // Let the burst slam into the full queue first.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        std::vector<Item> batch;
+        while (queue.popBatch(batch, 8, nullptr)) {
+            std::lock_guard lock(seen_mutex);
+            for (const Item &item : batch)
+                seen.insert(item.value);
+            batch.clear();
+        }
+    });
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < kProducers; ++p)
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ASSERT_TRUE(queue.push(
+                    ids[p], Item{ids[p], int(p) * 1000 + i}));
+        });
+    for (std::thread &t : producers)
+        t.join();
+    queue.close();
+    consumer.join();
+
+    ASSERT_EQ(seen.size(), kProducers * std::size_t(kPerProducer));
+    for (std::size_t p = 0; p < kProducers; ++p)
+        for (int i = 0; i < kPerProducer; ++i)
+            EXPECT_EQ(seen.count(int(p) * 1000 + i), 1u)
+                << "item dropped or duplicated under the storm";
+
+    // 120 pushes through a 4-slot queue with a delayed consumer: the
+    // burst must have blocked, and the ledger must have seen it.
+    EXPECT_GT(queue.totalStalls(), 0u);
+    std::uint64_t per_session = 0;
+    for (std::uint32_t id : ids)
+        per_session += queue.stalls(id);
+    EXPECT_EQ(per_session, queue.totalStalls());
+}
+
+TEST(QosQueueTest, StatLatencyBoundHoldsMidStorm)
+{
+    // A Research storm has the queue saturated; a clinical Stat
+    // request arriving mid-storm must still be served at the very
+    // next dispatch — the storm may not add even one Research
+    // dispatch to Stat's wait.
+    QosBoundedQueue<Item> queue(64, /*statBurst=*/4);
+    const auto research = queue.registerSession(QosClass::Research, 0);
+    const auto stat = queue.registerSession(QosClass::Stat, 0);
+    for (int i = 0; i < 32; ++i)
+        ASSERT_TRUE(queue.push(research, Item{research, i}));
+
+    // Storm already raging when the Stat work arrives.
+    std::vector<Item> batch;
+    QosClass served = QosClass::Stat;
+    ASSERT_TRUE(queue.popBatch(batch, 4, &served));
+    EXPECT_EQ(served, QosClass::Research);
+
+    ASSERT_TRUE(queue.push(stat, Item{stat, 999}));
+    batch.clear();
+    ASSERT_TRUE(queue.popBatch(batch, 4, &served));
+    EXPECT_EQ(served, QosClass::Stat)
+        << "a Research storm delayed a Stat dispatch";
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].value, 999);
+}
+
+TEST(QosQueueTest, CloseDuringStormWakesAllBlockedProducers)
+{
+    // Teardown mid-storm: every producer blocked on the saturated
+    // queue must wake from close() and see false — none may hang
+    // (that would deadlock fleet teardown) or spuriously succeed
+    // after the close.
+    constexpr std::size_t kBlocked = 6;
+    QosBoundedQueue<Item> queue(2, 4);
+    const auto s = queue.registerSession(QosClass::Research, 0);
+    ASSERT_TRUE(queue.push(s, Item{s, 0}));
+    ASSERT_TRUE(queue.push(s, Item{s, 1})); // at capacity
+
+    std::atomic<std::size_t> refused{0};
+    std::vector<std::thread> producers;
+    for (std::size_t i = 0; i < kBlocked; ++i)
+        producers.emplace_back([&, i] {
+            if (!queue.push(s, Item{s, int(100 + i)}))
+                refused.fetch_add(1, std::memory_order_relaxed);
+        });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_GT(queue.totalStalls(), 0u);
+    queue.close();
+    for (std::thread &t : producers)
+        t.join(); // a missed wakeup hangs right here
+    EXPECT_EQ(refused.load(std::memory_order_relaxed), kBlocked);
+
+    // The two admitted items drain; then consumers see closed.
+    std::vector<Item> batch;
+    EXPECT_TRUE(queue.popBatch(batch, 8, nullptr));
+    EXPECT_EQ(batch.size(), 2u);
+    batch.clear();
+    EXPECT_FALSE(queue.popBatch(batch, 8, nullptr));
+}
+
 TEST(QosQueueTest, InvalidParametersAreFatal)
 {
     EXPECT_THROW(QosBoundedQueue<Item>(0, 4), FatalError);
@@ -284,6 +409,315 @@ TEST(QosQueueTest, InvalidParametersAreFatal)
     EXPECT_THROW(QosBoundedQueue<Item>(16, 0), FatalError);
     QosBoundedQueue<Item> queue(4, 1);
     EXPECT_THROW(queue.push(7, Item{7, 0}), FatalError);
+}
+
+// ---------------------------------------------------------------- //
+//              snapshot JSON schema (quick label)                   //
+// ---------------------------------------------------------------- //
+
+/** Minimal recursive-descent parser for the subset of JSON that
+    FleetSnapshot::toJson() emits (objects, arrays, quoted strings
+    without escapes, numbers, true/false).  Exists so the schema test
+    PARSES the output instead of substring-matching it — a malformed
+    comma or an unquoted key fails here, not in some consumer. */
+struct JsonValue
+{
+    enum class Kind { Object, Array, String, Number, Bool } kind =
+        Kind::Object;
+    std::map<std::string, JsonValue> object;
+    std::vector<JsonValue> array;
+    std::string string;
+    double number = 0.0;
+    bool boolean = false;
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        const auto it = object.find(key);
+        if (it == object.end())
+            throw std::runtime_error("missing key: " + key);
+        return it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        if (pos_ != text_.size())
+            throw std::runtime_error("trailing bytes after JSON");
+        return v;
+    }
+
+  private:
+    char
+    peek() const
+    {
+        if (pos_ >= text_.size())
+            throw std::runtime_error("unexpected end of JSON");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            throw std::runtime_error(
+                std::string("expected '") + c + "' at byte " +
+                std::to_string(pos_) + ", got '" + peek() + "'");
+        ++pos_;
+    }
+
+    JsonValue
+    value()
+    {
+        JsonValue v;
+        switch (peek()) {
+        case '{': {
+            v.kind = JsonValue::Kind::Object;
+            expect('{');
+            if (peek() != '}')
+                for (;;) {
+                    JsonValue key = value();
+                    if (key.kind != JsonValue::Kind::String)
+                        throw std::runtime_error("non-string key");
+                    expect(':');
+                    if (!v.object.emplace(key.string, value()).second)
+                        throw std::runtime_error("duplicate key: " +
+                                                 key.string);
+                    if (peek() != ',')
+                        break;
+                    ++pos_;
+                }
+            expect('}');
+            return v;
+        }
+        case '[': {
+            v.kind = JsonValue::Kind::Array;
+            expect('[');
+            if (peek() != ']')
+                for (;;) {
+                    v.array.push_back(value());
+                    if (peek() != ',')
+                        break;
+                    ++pos_;
+                }
+            expect(']');
+            return v;
+        }
+        case '"': {
+            v.kind = JsonValue::Kind::String;
+            expect('"');
+            while (peek() != '"') {
+                if (peek() == '\\')
+                    throw std::runtime_error(
+                        "escapes not expected in this schema");
+                v.string += text_[pos_++];
+            }
+            expect('"');
+            return v;
+        }
+        case 't':
+        case 'f': {
+            v.kind = JsonValue::Kind::Bool;
+            const bool is_true = peek() == 't';
+            const std::string word = is_true ? "true" : "false";
+            if (text_.compare(pos_, word.size(), word) != 0)
+                throw std::runtime_error("bad literal");
+            pos_ += word.size();
+            v.boolean = is_true;
+            return v;
+        }
+        default: {
+            v.kind = JsonValue::Kind::Number;
+            const char *start = text_.c_str() + pos_;
+            char *end = nullptr;
+            v.number = std::strtod(start, &end);
+            if (end == start)
+                throw std::runtime_error("bad number");
+            pos_ += std::size_t(end - start);
+            return v;
+        }
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+/** Every key the snapshot schema promises, pinned by name.  A rename
+    here is an operator-visible breaking change: update
+    docs/OPERATIONS.md and this test together. */
+const std::vector<std::string> kTopLevelKeys = {
+    "wall_seconds",   "chunks_emitted", "chunks_per_sec",
+    "dispatches",     "dispatched_requests", "mean_batch",
+    "lane_jobs",      "lane_slots",     "lane_occupancy",
+    "dispatches_by_class", "fault_ledger", "sessions"};
+const std::vector<std::string> kLedgerKeys = {
+    "backpressure_stalls", "dead_channels", "recovering_channels",
+    "dropouts",  "recoveries", "aborted_reads", "worn_pores",
+    "revived_pores", "washes", "hot_swap_epochs", "storm_windows"};
+const std::vector<std::string> kSessionKeys = {
+    "name", "qos", "queue_depth", "chunks_emitted",
+    "decisions", "finished", "degradation"};
+// A session's degradation object = the ledger keys + the histogram.
+const std::string kWearHistKey = "wear_hist";
+
+void
+expectExactKeys(const JsonValue &obj,
+                const std::vector<std::string> &keys,
+                const std::string &context)
+{
+    ASSERT_EQ(obj.kind, JsonValue::Kind::Object) << context;
+    EXPECT_EQ(obj.object.size(), keys.size()) << context;
+    for (const std::string &key : keys)
+        EXPECT_EQ(obj.object.count(key), 1u)
+            << context << ": missing \"" << key << '"';
+}
+
+TEST(SnapshotSchemaTest, ToJsonRoundTripsEveryDocumentedField)
+{
+    // Hand-build a snapshot with a distinctive value in every field
+    // so a swapped pair of emit lines cannot cancel out.
+    FleetSnapshot snap;
+    snap.wallSeconds = 12.25;
+    snap.chunksEmitted = 4242;
+    snap.chunksPerSec = 340.5;
+    snap.dispatches = 777;
+    snap.dispatchedRequests = 2222;
+    snap.meanBatchSize = 2.8125; // exact in the %.6g telemetry format
+    snap.laneJobs = 901;
+    snap.laneSlots = 1024;
+    snap.laneOccupancy = 0.875;
+    snap.dispatchesByClass = {500, 277};
+    snap.faults.backpressureStalls = 11;
+    snap.faults.deadChannels = 3;
+    snap.faults.recoveringChannels = 2;
+    snap.faults.dropouts = 5;
+    snap.faults.recoveries = 4;
+    snap.faults.abortedReads = 6;
+    snap.faults.poresWorn = 7;
+    snap.faults.poresRevived = 1;
+    snap.faults.washes = 2;
+    snap.faults.hotSwapEpochs = 9;
+    snap.faults.stormWindows = 8;
+    SessionSnapshot a;
+    a.name = "cell-0";
+    a.qos = QosClass::Stat;
+    a.queueDepth = 3;
+    a.chunksEmitted = 4000;
+    a.decisions = 64;
+    a.finished = false;
+    a.backpressureStalls = 10;
+    a.deadChannels = 2;
+    a.recoveringChannels = 1;
+    a.dropouts = 4;
+    a.recoveries = 3;
+    a.abortedReads = 5;
+    a.poresWorn = 6;
+    a.poresRevived = 1;
+    a.washes = 2;
+    a.hotSwapEpochs = 9;
+    a.stormWindows = 7;
+    a.wearHistogram = {57, 1, 2, 3, 4, 5, 6, 7};
+    SessionSnapshot b;
+    b.name = "cell-1";
+    b.qos = QosClass::Research;
+    b.chunksEmitted = 242;
+    b.decisions = 8;
+    b.finished = true;
+    b.backpressureStalls = 1;
+    b.dropouts = 1;
+    b.recoveries = 1;
+    b.abortedReads = 1;
+    b.poresWorn = 1;
+    b.washes = 0;
+    b.hotSwapEpochs = 0;
+    b.stormWindows = 1;
+    snap.sessions = {a, b};
+
+    JsonValue root;
+    ASSERT_NO_THROW(root = JsonParser(snap.toJson()).parse())
+        << snap.toJson();
+    expectExactKeys(root, kTopLevelKeys, "top level");
+
+    EXPECT_DOUBLE_EQ(root.at("wall_seconds").number, 12.25);
+    EXPECT_DOUBLE_EQ(root.at("chunks_emitted").number, 4242.0);
+    EXPECT_DOUBLE_EQ(root.at("chunks_per_sec").number, 340.5);
+    EXPECT_DOUBLE_EQ(root.at("dispatches").number, 777.0);
+    EXPECT_DOUBLE_EQ(root.at("dispatched_requests").number, 2222.0);
+    EXPECT_DOUBLE_EQ(root.at("mean_batch").number, 2.8125);
+    EXPECT_DOUBLE_EQ(root.at("lane_jobs").number, 901.0);
+    EXPECT_DOUBLE_EQ(root.at("lane_slots").number, 1024.0);
+    EXPECT_DOUBLE_EQ(root.at("lane_occupancy").number, 0.875);
+
+    const JsonValue &by_class = root.at("dispatches_by_class");
+    expectExactKeys(by_class, {"stat", "research"}, "by class");
+    EXPECT_DOUBLE_EQ(by_class.at("stat").number, 500.0);
+    EXPECT_DOUBLE_EQ(by_class.at("research").number, 277.0);
+
+    const JsonValue &ledger = root.at("fault_ledger");
+    expectExactKeys(ledger, kLedgerKeys, "fault_ledger");
+    EXPECT_DOUBLE_EQ(ledger.at("backpressure_stalls").number, 11.0);
+    EXPECT_DOUBLE_EQ(ledger.at("dead_channels").number, 3.0);
+    EXPECT_DOUBLE_EQ(ledger.at("recovering_channels").number, 2.0);
+    EXPECT_DOUBLE_EQ(ledger.at("dropouts").number, 5.0);
+    EXPECT_DOUBLE_EQ(ledger.at("recoveries").number, 4.0);
+    EXPECT_DOUBLE_EQ(ledger.at("aborted_reads").number, 6.0);
+    EXPECT_DOUBLE_EQ(ledger.at("worn_pores").number, 7.0);
+    EXPECT_DOUBLE_EQ(ledger.at("revived_pores").number, 1.0);
+    EXPECT_DOUBLE_EQ(ledger.at("washes").number, 2.0);
+    EXPECT_DOUBLE_EQ(ledger.at("hot_swap_epochs").number, 9.0);
+    EXPECT_DOUBLE_EQ(ledger.at("storm_windows").number, 8.0);
+
+    const JsonValue &sessions = root.at("sessions");
+    ASSERT_EQ(sessions.kind, JsonValue::Kind::Array);
+    ASSERT_EQ(sessions.array.size(), 2u);
+
+    const JsonValue &s0 = sessions.array[0];
+    expectExactKeys(s0, kSessionKeys, "session 0");
+    EXPECT_EQ(s0.at("name").string, "cell-0");
+    EXPECT_EQ(s0.at("qos").string, "stat");
+    EXPECT_DOUBLE_EQ(s0.at("queue_depth").number, 3.0);
+    EXPECT_DOUBLE_EQ(s0.at("chunks_emitted").number, 4000.0);
+    EXPECT_DOUBLE_EQ(s0.at("decisions").number, 64.0);
+    EXPECT_FALSE(s0.at("finished").boolean);
+    std::vector<std::string> deg_keys = kLedgerKeys;
+    deg_keys.push_back(kWearHistKey);
+    const JsonValue &deg = s0.at("degradation");
+    expectExactKeys(deg, deg_keys, "session 0 degradation");
+    EXPECT_DOUBLE_EQ(deg.at("backpressure_stalls").number, 10.0);
+    EXPECT_DOUBLE_EQ(deg.at("dead_channels").number, 2.0);
+    EXPECT_DOUBLE_EQ(deg.at("recovering_channels").number, 1.0);
+    EXPECT_DOUBLE_EQ(deg.at("dropouts").number, 4.0);
+    EXPECT_DOUBLE_EQ(deg.at("recoveries").number, 3.0);
+    EXPECT_DOUBLE_EQ(deg.at("aborted_reads").number, 5.0);
+    EXPECT_DOUBLE_EQ(deg.at("worn_pores").number, 6.0);
+    EXPECT_DOUBLE_EQ(deg.at("revived_pores").number, 1.0);
+    EXPECT_DOUBLE_EQ(deg.at("washes").number, 2.0);
+    EXPECT_DOUBLE_EQ(deg.at("hot_swap_epochs").number, 9.0);
+    EXPECT_DOUBLE_EQ(deg.at("storm_windows").number, 7.0);
+    const JsonValue &hist = deg.at(kWearHistKey);
+    ASSERT_EQ(hist.kind, JsonValue::Kind::Array);
+    ASSERT_EQ(hist.array.size(), stream::kWearBuckets);
+    const std::uint64_t expected_hist[] = {57, 1, 2, 3, 4, 5, 6, 7};
+    for (std::size_t i = 0; i < stream::kWearBuckets; ++i)
+        EXPECT_DOUBLE_EQ(hist.array[i].number,
+                         double(expected_hist[i]))
+            << "wear_hist[" << i << "]";
+
+    const JsonValue &s1 = sessions.array[1];
+    expectExactKeys(s1, kSessionKeys, "session 1");
+    EXPECT_EQ(s1.at("name").string, "cell-1");
+    EXPECT_EQ(s1.at("qos").string, "research");
+    EXPECT_TRUE(s1.at("finished").boolean);
+    EXPECT_DOUBLE_EQ(
+        s1.at("degradation").at("backpressure_stalls").number, 1.0);
 }
 
 // ---------------------------------------------------------------- //
@@ -657,6 +1091,108 @@ TEST_F(FleetTest, SnapshotIsConsistentMidRunAndFinal)
 }
 
 // ---------------------------------------------------------------- //
+//                 fault injection across the fleet                  //
+// ---------------------------------------------------------------- //
+
+TEST_F(FleetTest, FaultedSessionsStayDeterministicAndLedgerAggregates)
+{
+    // Hostile conditions on every flowcell of a shared-pool fleet:
+    // dropouts, a capture storm, hot pore wear with a wash, and a
+    // mid-session reference hot-swap.  Two invariants: (1) each
+    // session's log is bit-identical to a faulted standalone run of
+    // the same (seed, config, reads, FaultPlan); (2) the snapshot's
+    // fault ledger equals the sum of the per-session deterministic
+    // DegradationStats, and each session's snapshot degradation block
+    // equals its final stats (gauges are exact at quiescence).
+    static const sdtw::SquiggleFilterClassifier keep_all = [] {
+        sdtw::SquiggleFilterClassifier c(
+            pipeline::streamVirusSquiggle());
+        c.setSingleStage(kChunk,
+                         std::numeric_limits<Cost>::max());
+        return c;
+    }();
+    readuntil::PoreWearModel wear;
+    wear.deathRatePerHour = 1800.0;
+    wear.remuxRecovery = 1.0;
+
+    const std::size_t fleet_size = std::min<std::size_t>(2, kMaxFleet);
+    std::vector<stream::FaultPlan> plans(fleet_size);
+    for (std::size_t i = 0; i < fleet_size; ++i)
+        plans[i]
+            .dropout(int(i) % kChannels, 0.8 + 0.3 * double(i), 2.0)
+            .storm(0.5, 4.0, 8.0)
+            .hotSwap(3.0, &keep_all)
+            .enableWear(wear, 0x3ea6 + i)
+            .wash(5.0);
+
+    FleetConfig cfg;
+    cfg.workers = 4;
+    cfg.queueCapacity = 8;
+    FleetOrchestrator fleet(cfg);
+    for (std::size_t i = 0; i < fleet_size; ++i) {
+        SessionSpec spec;
+        spec.name = "cell-" + std::to_string(i);
+        spec.classifier = &classifier();
+        spec.config = sessionConfig(i);
+        spec.config.faults = &plans[i];
+        spec.qos = i % 2 == 0 ? QosClass::Stat : QosClass::Research;
+        spec.reads = sessionReads(i).reads;
+        fleet.addSession(std::move(spec));
+    }
+    const FleetResult result = fleet.run();
+    ASSERT_EQ(result.sessions.size(), fleet_size);
+
+    FaultLedger sum;
+    for (std::size_t i = 0; i < fleet_size; ++i) {
+        stream::SessionConfig scfg = sessionConfig(i);
+        scfg.faults = &plans[i];
+        const auto oracle =
+            stream::ReadUntilSession(classifier(), scfg)
+                .run(sessionReads(i).reads);
+        expectLogsEqual(result.sessions[i].result, oracle,
+                        "faulted session=" + std::to_string(i));
+
+        const auto &deg = result.sessions[i].result.stats.degradation;
+        const auto &live = result.snapshot.sessions[i];
+        EXPECT_EQ(live.dropouts, deg.dropouts);
+        EXPECT_EQ(live.recoveries, deg.recoveries);
+        EXPECT_EQ(live.abortedReads, deg.readsAborted);
+        EXPECT_EQ(live.poresWorn, deg.poresWorn);
+        EXPECT_EQ(live.poresRevived, deg.poresRevived);
+        EXPECT_EQ(live.washes, deg.washes);
+        EXPECT_EQ(live.hotSwapEpochs, deg.hotSwapEpochs);
+        EXPECT_EQ(live.stormWindows, deg.stormWindows);
+        EXPECT_EQ(live.deadChannels, deg.deadChannelsAtEnd);
+        for (std::size_t b = 0; b < stream::kWearBuckets; ++b)
+            EXPECT_EQ(live.wearHistogram[b], deg.wearHistogram[b])
+                << "session " << i << " wear bucket " << b;
+
+        sum.dropouts += deg.dropouts;
+        sum.recoveries += deg.recoveries;
+        sum.abortedReads += deg.readsAborted;
+        sum.poresWorn += deg.poresWorn;
+        sum.poresRevived += deg.poresRevived;
+        sum.washes += deg.washes;
+        sum.hotSwapEpochs += deg.hotSwapEpochs;
+        sum.stormWindows += deg.stormWindows;
+        sum.deadChannels += deg.deadChannelsAtEnd;
+    }
+    const FaultLedger &ledger = result.snapshot.faults;
+    EXPECT_EQ(ledger.dropouts, sum.dropouts);
+    EXPECT_EQ(ledger.recoveries, sum.recoveries);
+    EXPECT_EQ(ledger.abortedReads, sum.abortedReads);
+    EXPECT_EQ(ledger.poresWorn, sum.poresWorn);
+    EXPECT_EQ(ledger.poresRevived, sum.poresRevived);
+    EXPECT_EQ(ledger.washes, sum.washes);
+    EXPECT_EQ(ledger.hotSwapEpochs, sum.hotSwapEpochs);
+    EXPECT_EQ(ledger.stormWindows, sum.stormWindows);
+    EXPECT_EQ(ledger.deadChannels, sum.deadChannels);
+    // Every session saw the storm and the swap.
+    EXPECT_EQ(ledger.stormWindows, std::uint64_t(fleet_size));
+    EXPECT_EQ(ledger.hotSwapEpochs, std::uint64_t(fleet_size));
+}
+
+// ---------------------------------------------------------------- //
 //                         misconfiguration                          //
 // ---------------------------------------------------------------- //
 
@@ -688,6 +1224,38 @@ TEST_F(FleetTest, MisconfiguredFleetsAreFatal)
     {
         FleetOrchestrator fleet(FleetConfig{});
         EXPECT_THROW(fleet.run(), FatalError);
+    }
+    {
+        // A fault plan is validated at registration, on the caller's
+        // thread — an out-of-range dropout channel must not make it
+        // anywhere near a driver thread.
+        stream::FaultPlan bad;
+        bad.dropout(kChannels + 7, 1.0, 1.0);
+        FleetOrchestrator fleet(FleetConfig{});
+        SessionSpec spec;
+        spec.name = "bad-plan";
+        spec.classifier = &classifier();
+        spec.config = sessionConfig(0);
+        spec.config.faults = &bad;
+        spec.reads = sessionReads(0).reads;
+        EXPECT_THROW(fleet.addSession(std::move(spec)), FatalError);
+    }
+    {
+        // A hot-swap target that disagrees on the kernel config would
+        // invalidate the shared worker kernels mid-run: rejected at
+        // registration too.
+        static const sdtw::SquiggleFilterClassifier vanilla(
+            pipeline::streamVirusSquiggle(), sdtw::vanillaConfig());
+        stream::FaultPlan bad;
+        bad.hotSwap(1.0, &vanilla);
+        FleetOrchestrator fleet(FleetConfig{});
+        SessionSpec spec;
+        spec.name = "bad-swap";
+        spec.classifier = &classifier();
+        spec.config = sessionConfig(0);
+        spec.config.faults = &bad;
+        spec.reads = sessionReads(0).reads;
+        EXPECT_THROW(fleet.addSession(std::move(spec)), FatalError);
     }
     {
         FleetConfig cfg;
