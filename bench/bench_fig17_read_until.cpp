@@ -21,6 +21,7 @@
 #include "bench_util.hpp"
 #include "align/aligner.hpp"
 #include "basecall/oracle.hpp"
+#include "common/env.hpp"
 #include "common/table.hpp"
 #include "readuntil/model.hpp"
 #include "sdtw/batch.hpp"
@@ -83,8 +84,7 @@ runStreamingSection(std::size_t per_class)
     cfg.decisionLatencySec = 0.1;
     // SF_FIG17_LANE_BATCH=0 measures the serial worker path for A/B
     // comparison; decisions are bit-identical either way.
-    if (const char *lane = std::getenv("SF_FIG17_LANE_BATCH"))
-        cfg.laneBatching = std::strcmp(lane, "0") != 0;
+    cfg.laneBatching = envFlag("SF_FIG17_LANE_BATCH", cfg.laneBatching);
     const char *simd =
         cfg.laneBatching
             ? sdtw::simdBackendName(sdtw::detectSimdBackend())
@@ -158,7 +158,7 @@ main()
     // the worker pool sees realistic cross-channel request pressure.
     const auto stream_per_class = pipeline::scaledReads(96);
 
-    const char *section = std::getenv("SF_FIG17_SECTION");
+    const char *section = envString("SF_FIG17_SECTION");
     if (section != nullptr && std::strcmp(section, "stream") == 0) {
         runStreamingSection(stream_per_class);
         return 0;

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/env.hpp"
 #include "common/table.hpp"
 #include "fleet/orchestrator.hpp"
 #include "sdtw/batch.hpp"
@@ -47,16 +48,6 @@ constexpr std::size_t kStages = 9;
 // SIMD serial cutover of every backend, so an isolated session folds
 // serially while the fleet's pooled requests cross the cutover.
 constexpr int kChannelsPerSession = 8;
-
-std::size_t
-envSize(const char *name, std::size_t fallback)
-{
-    const char *v = std::getenv(name);
-    if (v == nullptr)
-        return fallback;
-    const long parsed = std::atol(v);
-    return parsed > 0 ? std::size_t(parsed) : fallback;
-}
 
 stream::SessionConfig
 sessionConfig(std::size_t i)
@@ -148,9 +139,7 @@ main()
     // never reaches.
     const std::size_t sessions = envSize("SF_FLEET_SESSIONS", 8);
     const unsigned workers = unsigned(envSize("SF_FLEET_WORKERS", 1));
-    bool lane_batching = true;
-    if (const char *lane = std::getenv("SF_FLEET_LANE_BATCH"))
-        lane_batching = std::strcmp(lane, "0") != 0;
+    const bool lane_batching = envFlag("SF_FLEET_LANE_BATCH", true);
     const char *simd =
         lane_batching ? sdtw::simdBackendName(sdtw::detectSimdBackend())
                       : "serial";

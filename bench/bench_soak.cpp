@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/env.hpp"
 #include "common/table.hpp"
 #include "fleet/orchestrator.hpp"
 #include "stream/fault_plan.hpp"
@@ -47,41 +48,6 @@ namespace {
 
 constexpr std::size_t kChunkSamples = 1600; // 0.4 s at 4 kHz
 constexpr std::size_t kStages = 9;
-
-std::size_t
-envSize(const char *name, std::size_t fallback)
-{
-    const char *v = std::getenv(name);
-    if (v == nullptr)
-        return fallback;
-    const long parsed = std::atol(v);
-    return parsed > 0 ? std::size_t(parsed) : fallback;
-}
-
-std::vector<unsigned>
-envWorkerCounts()
-{
-    std::vector<unsigned> counts;
-    const char *v = std::getenv("SF_SOAK_WORKERS");
-    std::string spec = v != nullptr ? v : "1,4,8";
-    std::size_t pos = 0;
-    while (pos < spec.size()) {
-        const std::size_t comma = spec.find(',', pos);
-        const std::string tok =
-            spec.substr(pos, comma == std::string::npos
-                                 ? std::string::npos
-                                 : comma - pos);
-        const long parsed = std::atol(tok.c_str());
-        if (parsed > 0)
-            counts.push_back(unsigned(parsed));
-        if (comma == std::string::npos)
-            break;
-        pos = comma + 1;
-    }
-    if (counts.empty())
-        counts = {1, 4, 8};
-    return counts;
-}
 
 bool
 logsIdentical(const stream::SessionResult &a,
@@ -129,7 +95,8 @@ main()
     const std::size_t sessions = envSize("SF_SOAK_SESSIONS", 8);
     const std::size_t reads_per_session = envSize("SF_SOAK_READS", 24);
     const int channels = int(envSize("SF_SOAK_CHANNELS", 8));
-    const std::vector<unsigned> worker_counts = envWorkerCounts();
+    const std::vector<unsigned> worker_counts =
+        envUnsignedCsv("SF_SOAK_WORKERS", {1, 4, 8});
 
     // Primary classifier, and a kernel-identical hot-swap target with
     // a deliberately different operating point (keep-everything) so a

@@ -18,7 +18,19 @@
 #    fails when chunks/s regresses the same way against
 #    BENCH_stream.json, or when the checkpointed-DP work advantage
 #    falls below 5x.
-# 3. Runs bench_fleet (N sessions on one shared worker pool vs the
+# 3. Runs bench_backend (the same streaming session on the measured
+#    software backend and on the modelled-ASIC backend, plus a PE-count
+#    x dataflow design-space sweep) and fails when
+#    - the two backends' decision logs are not bit-identical (the
+#      backend seam's first law, gated at any sweep point),
+#    - the modelled asic p50 leaves the +-margin envelope around the
+#      BENCH_stream.json "backend" baseline (the cycle model is
+#      deterministic; drift means the model or decision stream moved),
+#    - software chunks/s drops below the usual margin floor,
+#    - the sweep is not monotone (more PEs must never slow a dataflow)
+#      or a reference-stationary array smaller than the reference
+#      fails to tile.
+# 4. Runs bench_fleet (N sessions on one shared worker pool vs the
 #    same sessions isolated) and fails when
 #    - aggregate fleet chunks/s drops more than the margin below
 #      BENCH_fleet.json,
@@ -40,8 +52,8 @@
 #
 # Usage:
 #   scripts/bench_gate.sh             # gate against both baselines
-#   scripts/bench_gate.sh --record    # refresh the measured blocks of
-#                                     # BENCH_stream.json and
+#   scripts/bench_gate.sh --record    # refresh the measured/backend
+#                                     # blocks of BENCH_stream.json and
 #                                     # BENCH_fleet.json instead of
 #                                     # gating
 #
@@ -278,7 +290,117 @@ EOF
         tee -a "${summary}"
 fi
 
-# ---- 3. fleet serving gate ---------------------------------------- #
+# ---- 3. decision-backend gate (software vs modelled ASIC) --------- #
+cmake --build "${build_dir}" -j --target bench_backend >/dev/null
+backend_line="$({ "${build_dir}/bench_backend" |
+    grep '^BENCH_BACKEND_JSON ' |
+    sed 's/^BENCH_BACKEND_JSON //'; } || true)"
+if [[ -z "${backend_line}" ]]; then
+    echo "bench_backend produced no BENCH_BACKEND_JSON line" >&2
+    exit 1
+fi
+echo "measured backend: ${backend_line}" | tee -a "${summary}"
+printf '%s\n' "${backend_line}" >"${report_dir}/backend.json"
+
+if [[ "${record}" == "1" ]]; then
+    python3 - "$backend_line" <<'EOF'
+import json, sys
+
+measured = json.loads(sys.argv[1])
+with open("BENCH_stream.json") as f:
+    doc = json.load(f)
+doc["backend"] = measured
+with open("BENCH_stream.json", "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print("BENCH_stream.json backend block refreshed")
+EOF
+else
+    python3 - "$backend_line" "$margin" <<'EOF' | tee -a "${summary}"
+import json, sys
+
+measured = json.loads(sys.argv[1])
+margin = float(sys.argv[2])
+with open("BENCH_stream.json") as f:
+    baseline = json.load(f)["backend"]
+
+failures = []
+
+# First law of the backend seam: the modelled-ASIC run's decision log
+# is bit-identical to the software run's (all sweep points included).
+if not measured["logs_match"]:
+    failures.append("asic/software decision logs DIFFER")
+status = "OK " if measured["logs_match"] else "FAIL"
+print(f"  [{status}] asic decision logs bit-identical to software")
+
+# The cycle model is deterministic given (dataset, config): the
+# modelled p50 moves only when the model or the decision stream
+# changes, so it gates against the recorded baseline with the shared
+# margin as slack for intentional model evolution.
+base_p50 = baseline["asic"]["p50_us"]
+ceil = base_p50 * (1.0 + margin / 100.0)
+floor = base_p50 * (1.0 - margin / 100.0)
+p50 = measured["asic"]["p50_us"]
+status = "OK " if floor <= p50 <= ceil else "FAIL"
+print(f"  [{status}] modelled asic p50 {p50:.2f} us "
+      f"(baseline {base_p50:.2f}, envelope "
+      f"[{floor:.2f}, {ceil:.2f}])")
+if not floor <= p50 <= ceil:
+    failures.append("modelled asic p50 left the baseline envelope")
+
+# The measured software side keeps the usual host-relative floor.
+sw_floor = baseline["software"]["chunks_per_s"] * (1.0 - margin / 100.0)
+sw = measured["software"]["chunks_per_s"]
+status = "OK " if sw >= sw_floor else "FAIL"
+print(f"  [{status}] software chunks/s {sw:.1f} "
+      f"(baseline {baseline['software']['chunks_per_s']:.1f}, "
+      f"floor {sw_floor:.1f})")
+if sw < sw_floor:
+    failures.append("software chunks/s")
+
+# Sweep sanity (same-run, host-independent): more PEs must never make
+# a dataflow slower, and a reference-stationary array smaller than the
+# reference must actually tile (passes > 1).
+by_flow = {}
+for row in measured["sweep"]:
+    by_flow.setdefault(row["dataflow"], []).append(row)
+for flow, rows in sorted(by_flow.items()):
+    rows.sort(key=lambda r: r["pes"])
+    mono = all(a["p50_us"] >= b["p50_us"] - 1e-9
+               for a, b in zip(rows, rows[1:]))
+    status = "OK " if mono else "FAIL"
+    trend = " -> ".join(f"{r['p50_us']:.2f}" for r in rows)
+    print(f"  [{status}] sweep {flow}: p50 {trend} us over PEs "
+          f"{[r['pes'] for r in rows]}")
+    if not mono:
+        failures.append(f"sweep p50 not monotone for {flow}")
+ref = measured["ref_samples"]
+for row in measured["sweep"]:
+    if row["dataflow"] == "reference_stationary" and row["pes"] < ref:
+        ok = row["passes_per_decision"] > 1.0
+        status = "OK " if ok else "FAIL"
+        print(f"  [{status}] rs {row['pes']} PEs < ref {ref}: "
+              f"{row['passes_per_decision']:.2f} tiles/decision")
+        if not ok:
+            failures.append(
+                f"rs {row['pes']}-PE array did not tile the reference")
+
+print(f"  [inf] modelled {measured['asic']['array_dim']}-PE "
+      f"{measured['asic']['dataflow']} chip: "
+      f"{measured['asic']['cycles_per_decision']:.0f} cycles, "
+      f"{measured['asic']['energy_uj_per_decision']:.2f} uJ, "
+      f"{measured['asic']['checkpoint_kib_per_decision']:.1f} KiB "
+      f"ckpt per decision; software p50 "
+      f"{measured['software']['p50_us']:.0f} us ({measured['simd']})")
+
+if failures:
+    sys.exit("backend gate failed on: " + "; ".join(failures))
+EOF
+    echo "decision-backend gate: green (margin ${margin}%)" |
+        tee -a "${summary}"
+fi
+
+# ---- 4. fleet serving gate ---------------------------------------- #
 cmake --build "${build_dir}" -j --target bench_fleet >/dev/null
 fleet_line="$({ "${build_dir}/bench_fleet" |
     grep '^BENCH_FLEET_JSON ' |

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lint for invariants no generic tool knows.
 
-Six rules, each encoding a correctness contract of this codebase:
+Seven rules, each encoding a correctness contract of this codebase:
 
   simd-backend-integrity   Every SIMD backend TU (src/sdtw/
                            batch_{sse2,avx2,avx512}.cpp) keeps its
@@ -58,6 +58,14 @@ Six rules, each encoding a correctness contract of this codebase:
                            exists only in the code.  Wrapper reads
                            (envSize("SF_..."), getenv("SF_..."))
                            count as reads.
+
+  env-knob-strict-parse    Every knob read goes through the strict
+                           helpers in src/common/env.{hpp,cpp}
+                           (envString/envSize/envDouble/envFlag/
+                           envUnsignedCsv), which fatal() on malformed
+                           values instead of silently truncating
+                           ("1024abc" -> 1024).  Raw getenv() anywhere
+                           else bypasses that validation.
 
 Adding a rule: write a function taking (root, findings) that appends
 Finding tuples, give it a one-line DOC string, and register it in
@@ -405,6 +413,39 @@ def rule_env_knob_docs(root: Path, findings: List[Finding]):
 
 
 # ------------------------------------------------------------------ #
+# Rule: env-knob-strict-parse                                          #
+# ------------------------------------------------------------------ #
+
+RAW_GETENV_RE = re.compile(r"\bgetenv\s*\(")
+
+# The single sanctioned raw-getenv site: the strict helpers themselves.
+ENV_HELPER_FILES = ("src/common/env.cpp",)
+
+
+def rule_env_knob_strict_parse(root: Path, findings: List[Finding]):
+    rule = "env-knob-strict-parse"
+    for sub in ("src", "bench", "examples", "tests"):
+        base = root / sub
+        if not base.exists():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".hpp", ".cpp"):
+                continue
+            rel = path.relative_to(root).as_posix()
+            if rel in ENV_HELPER_FILES:
+                continue
+            text = strip_comments(path.read_text())
+            for m in RAW_GETENV_RE.finditer(text):
+                findings.append(
+                    Finding(rule, f"{rel}:{line_of(text, m.start())}",
+                            "raw getenv() outside src/common/env.cpp; "
+                            "read knobs through the strict sf::env* "
+                            "helpers (common/env.hpp) so malformed "
+                            "values fail loudly instead of parsing as "
+                            "trailing-garbage prefixes"))
+
+
+# ------------------------------------------------------------------ #
 
 RULES = [
     rule_simd_backend_integrity,
@@ -413,6 +454,7 @@ RULES = [
     rule_quantized_hot_path_purity,
     rule_tiling_containment,
     rule_env_knob_docs,
+    rule_env_knob_strict_parse,
 ]
 
 

@@ -49,38 +49,64 @@ summary="${report_dir}/summary.txt"
 
 # Deadlock guard: a soak that hangs (blocked producer never woken,
 # worker retired on an open queue, quiesce that never completes) is
-# killed by the budget and fails loudly.
+# killed by the budget and fails loudly.  SIGKILL also reaches
+# bench_soak from OUTSIDE the budget (the kernel OOM killer, a CI
+# runner eviction), so the two cases are separated by elapsed wall
+# time: only a kill that arrives at the budget boundary is reported
+# as a suspected deadlock.
 soak_status=0
+SECONDS=0
 timeout --signal=KILL "${budget}" \
     "${build_dir}/bench_soak" >"${run_log}" 2>&1 || soak_status=$?
+elapsed=${SECONDS}
+
+# Whatever happened, preserve what the run produced: the partial (or
+# complete) BENCH_SOAK_JSON measurement and the full harness output
+# stay in ${report_dir} for every exit path, so a failed soak is
+# diagnosable from the CI artifact alone.
+soak_line="$(grep '^BENCH_SOAK_JSON ' "${run_log}" |
+    sed 's/^BENCH_SOAK_JSON //' || true)"
+if [[ -n "${soak_line}" ]]; then
+    printf '%s\n' "${soak_line}" >"${report_dir}/soak.json"
+fi
 
 if [[ ${soak_status} -eq 137 || ${soak_status} -eq 124 ]]; then
     {
-        echo "soak gate: FAILED — bench_soak exceeded the"
-        echo "${budget}s budget (SF_SOAK_BUDGET_SEC); treating the"
-        echo "hang as a deadlock.  Full output: ${run_log}"
+        if [[ $((elapsed + 1)) -ge ${budget} ]]; then
+            echo "soak gate: FAILED — bench_soak was killed at the"
+            echo "${budget}s wall budget (SF_SOAK_BUDGET_SEC) after"
+            echo "${elapsed}s; treating the hang as a suspected"
+            echo "DEADLOCK (blocked producer, retired worker, or a"
+            echo "quiesce that never completed)."
+        else
+            echo "soak gate: FAILED — bench_soak was killed by an"
+            echo "external SIGKILL after ${elapsed}s, well inside the"
+            echo "${budget}s budget; NOT a deadlock — suspect the OOM"
+            echo "killer or a CI runner eviction."
+        fi
+        echo "Artifacts preserved in ${report_dir} (full output:"
+        echo "${run_log})."
         tail -40 "${run_log}" || true
     } | tee -a "${summary}" >&2
     exit 1
 fi
 
-soak_line="$(grep '^BENCH_SOAK_JSON ' "${run_log}" |
-    sed 's/^BENCH_SOAK_JSON //' || true)"
 if [[ -z "${soak_line}" ]]; then
     {
         echo "soak gate: FAILED — bench_soak produced no"
         echo "BENCH_SOAK_JSON line (exit ${soak_status})."
+        echo "Artifacts preserved in ${report_dir}."
         tail -40 "${run_log}" || true
     } | tee -a "${summary}" >&2
     exit 1
 fi
-printf '%s\n' "${soak_line}" >"${report_dir}/soak.json"
 echo "measured soak: ${soak_line}" | tee -a "${summary}"
 
 if [[ ${soak_status} -ne 0 ]]; then
     {
         echo "soak gate: FAILED — bench_soak exited ${soak_status}"
-        echo "(invariant violation; see ${run_log})."
+        echo "(invariant violation; see ${run_log}; artifacts"
+        echo "preserved in ${report_dir})."
     } | tee -a "${summary}" >&2
     exit 1
 fi

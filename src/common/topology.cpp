@@ -32,38 +32,6 @@ readSysFile(const char *path)
     return std::string(buf);
 }
 
-/**
- * Parse a kernel cpulist ("0-3,8,10-11") into cpu ids.  Malformed
- * chunks are skipped rather than fatal — topology is advisory.
- */
-std::vector<int>
-parseCpuList(const std::string &list)
-{
-    std::vector<int> cpus;
-    const char *p = list.c_str();
-    while (*p != '\0') {
-        char *end = nullptr;
-        const long lo = std::strtol(p, &end, 10);
-        if (end == p || lo < 0)
-            break;
-        long hi = lo;
-        p = end;
-        if (*p == '-') {
-            hi = std::strtol(p + 1, &end, 10);
-            if (end == p + 1 || hi < lo)
-                break;
-            p = end;
-        }
-        for (long c = lo; c <= hi; ++c)
-            cpus.push_back(int(c));
-        if (*p == ',')
-            ++p;
-        else
-            break;
-    }
-    return cpus;
-}
-
 CpuTopology
 probeTopology()
 {
@@ -128,6 +96,65 @@ probeLevel2CacheBytes()
 }
 
 } // namespace
+
+std::vector<int>
+parseCpuList(const std::string &list)
+{
+    // Strict all-or-nothing: any malformed chunk yields an EMPTY
+    // result.  The old lenient parser stopped at the first token it
+    // did not understand and returned the prefix — which turned a
+    // stride list like "0-63:4/8" (take 4 of every 8) into the full
+    // 0-63 SUPERSET and silently pinned workers onto cpus the node
+    // does not own.  Wrong placement is worse than no placement, so
+    // unparseable now means "skip this node" (the probe then falls
+    // back to the flat single-node plan).
+    std::vector<int> cpus;
+    const char *p = list.c_str();
+    const auto parseLong = [](const char *&q, long &out) {
+        char *end = nullptr;
+        const long v = std::strtol(q, &end, 10);
+        if (end == q || v < 0)
+            return false;
+        q = end;
+        out = v;
+        return true;
+    };
+    while (true) {
+        long lo = 0;
+        if (!parseLong(p, lo))
+            return {};
+        long hi = lo;
+        if (*p == '-') {
+            ++p;
+            if (!parseLong(p, hi) || hi < lo)
+                return {};
+        }
+        // Kernel stride-group syntax "lo-hi:used/group": from each
+        // group-sized block starting at lo, take the first `used`.
+        long used = hi - lo + 1;
+        long group = used;
+        if (*p == ':') {
+            ++p;
+            if (!parseLong(p, used) || *p != '/')
+                return {};
+            ++p;
+            if (!parseLong(p, group) || used < 1 || group < 1 ||
+                used > group)
+                return {};
+        }
+        for (long g = lo; g <= hi; g += group)
+            for (long c = g; c < g + used && c <= hi; ++c)
+                cpus.push_back(int(c));
+        if (*p != ',')
+            break;
+        ++p;
+    }
+    while (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')
+        ++p;
+    if (*p != '\0')
+        return {};
+    return cpus;
+}
 
 const CpuTopology &
 systemTopology()

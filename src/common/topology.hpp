@@ -16,6 +16,7 @@
  */
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 namespace sf::topo {
@@ -61,6 +62,17 @@ std::size_t level2CacheBytes();
 std::vector<int> planPlacement(std::size_t count);
 std::vector<int> planPlacement(const CpuTopology &topology,
                                std::size_t count);
+
+/**
+ * Parse a kernel cpulist into cpu ids.  Handles every form sysfs can
+ * emit: single cpus ("3"), ranges ("0-3"), comma-separated unions
+ * ("0-3,8,10-11") and stride groups ("0-63:4/8" — from each group of
+ * 8 starting at 0, take the first 4).  Strict all-or-nothing: any
+ * malformed chunk returns an EMPTY vector (never a wrong prefix or
+ * superset), and the topology probe then falls back to the flat
+ * single-node plan.  Trailing whitespace/newline is accepted.
+ */
+std::vector<int> parseCpuList(const std::string &list);
 
 /**
  * Pin the calling thread to @p cpu.  Returns true on success, false

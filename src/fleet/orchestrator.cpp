@@ -89,6 +89,16 @@ FleetSnapshot::toJson() const
         j += ':';
         appendNumber(j, dispatchesByClass[c]);
     }
+    j += "},\"requests_by_backend\":{";
+    for (std::size_t b = 0; b < stream::kDecisionBackendKinds; ++b) {
+        if (b != 0)
+            j += ',';
+        appendJsonString(
+            j, stream::decisionBackendName(
+                   stream::DecisionBackendKind(b)));
+        j += ':';
+        appendNumber(j, requestsByBackend[b]);
+    }
     j += "},\"fault_ledger\":{\"backpressure_stalls\":";
     appendNumber(j, faults.backpressureStalls);
     j += ",\"dead_channels\":";
@@ -120,6 +130,8 @@ FleetSnapshot::toJson() const
         appendJsonString(j, s.name);
         j += ",\"qos\":";
         appendJsonString(j, qosClassName(s.qos));
+        j += ",\"backend\":";
+        appendJsonString(j, stream::decisionBackendName(s.backend));
         j += ",\"queue_depth\":";
         appendNumber(j, std::uint64_t(s.queueDepth));
         j += ",\"chunks_emitted\":";
@@ -217,6 +229,33 @@ FleetOrchestrator::addSession(SessionSpec spec)
                       "squiggle, not the kernel shape",
                       spec.name.c_str());
     }
+    if (spec.config.backend == stream::DecisionBackendKind::Asic) {
+        // Validate the modelled hardware on the caller's thread: the
+        // kernel config must be implementable (mirrors AsicBackend's
+        // own checks, which would otherwise fatal inside run()) and
+        // every Asic session must share ONE design point — the fleet
+        // models one chip, just as it shares one kernel shape.
+        const sdtw::SdtwConfig &kc = spec.classifier->config();
+        if (kc.metric != sdtw::CostMetric::AbsoluteDifference ||
+            kc.allowReferenceDeletion)
+            fatal("FleetOrchestrator session '%s' requests the asic "
+                  "backend with a kernel config the hardware cannot "
+                  "implement (needs absolute-difference metric, no "
+                  "reference deletions)",
+                  spec.name.c_str());
+        if (spec.config.asic.arrayDim == 0 ||
+            spec.config.asic.clockGhz <= 0.0)
+            fatal("FleetOrchestrator session '%s' has a degenerate "
+                  "AsicSpec (arrayDim/clockGhz must be positive)",
+                  spec.name.c_str());
+        if (hasAsic_ && spec.config.asic != asicSpec_)
+            fatal("FleetOrchestrator session '%s' disagrees with the "
+                  "fleet on the AsicSpec design point; a fleet models "
+                  "one chip (arrayDim/dataflow/clock must match)",
+                  spec.name.c_str());
+        asicSpec_ = spec.config.asic;
+        hasAsic_ = true;
+    }
     const std::uint32_t id =
         queue_.registerSession(spec.qos, config_.sessionQuota);
     sessions_.push_back(
@@ -235,36 +274,52 @@ FleetOrchestrator::submit(stream::DecisionRequest request)
 }
 
 void
-FleetOrchestrator::workerMain()
+FleetOrchestrator::workerMain(WorkerBackendSet &backends)
 {
-    // One lane-batch kernel per worker, sized to the dispatch pull.
-    // Every fleet session shares the recurrence config (enforced in
-    // addSession), so one kernel serves requests of all of them.
-    sdtw::BatchSdtw kernel(
-        sessions_.front()->spec.classifier->config(),
-        std::max<std::size_t>(config_.dispatchBatch,
-                              sdtw::BatchSdtw::kDefaultSerialCutover));
-    sdtw::FoldStats prev;
+    // A mixed fleet interleaves software and modelled-ASIC sessions
+    // on the same queue: each dispatch is partitioned by the backend
+    // its requests' sessions selected (stable, so same-classifier
+    // requests keep their queue order and still group into one lane
+    // batch) and each partition folds on that backend's engine.
+    std::array<sdtw::FoldStats, stream::kDecisionBackendKinds> prev{};
     std::vector<stream::DecisionRequest> batch;
+    std::vector<stream::DecisionRequest> part;
     QosClass served = QosClass::Research;
     const auto linger =
         std::chrono::microseconds(config_.dispatchLingerUs);
     while (queue_.popBatch(batch, config_.dispatchBatch, &served,
                            linger)) {
-        stream::foldDispatch(batch, kernel, config_.laneBatching);
         dispatches_.fetch_add(1, std::memory_order_relaxed);
         dispatchedRequests_.fetch_add(batch.size(),
                                       std::memory_order_relaxed);
         dispatchesByClass_[std::size_t(served)].fetch_add(
             1, std::memory_order_relaxed);
-        // Publish lane telemetry per dispatch (not at thread exit) so
-        // a mid-run snapshot sees live occupancy.
-        const sdtw::FoldStats &fs = kernel.foldStats();
-        laneJobs_.fetch_add(fs.laneJobs - prev.laneJobs,
-                            std::memory_order_relaxed);
-        laneSlots_.fetch_add(fs.laneSlots - prev.laneSlots,
-                             std::memory_order_relaxed);
-        prev = fs;
+        for (std::size_t b = 0; b < stream::kDecisionBackendKinds;
+             ++b) {
+            part.clear();
+            for (stream::DecisionRequest &req : batch)
+                if (std::size_t(req.backend) == b)
+                    part.push_back(std::move(req));
+            if (part.empty())
+                continue;
+            stream::DecisionBackend *backend = backends.byKind[b].get();
+            if (backend == nullptr)
+                panic("fleet dispatch carries a request for backend "
+                      "'%s' but no session registered it",
+                      stream::decisionBackendName(
+                          stream::DecisionBackendKind(b)));
+            backend->fold(part);
+            requestsByBackend_[b].fetch_add(part.size(),
+                                            std::memory_order_relaxed);
+            // Publish lane telemetry per dispatch (not at thread
+            // exit) so a mid-run snapshot sees live occupancy.
+            const sdtw::FoldStats &fs = backend->foldStats();
+            laneJobs_.fetch_add(fs.laneJobs - prev[b].laneJobs,
+                                std::memory_order_relaxed);
+            laneSlots_.fetch_add(fs.laneSlots - prev[b].laneSlots,
+                                 std::memory_order_relaxed);
+            prev[b] = fs;
+        }
         batch.clear();
     }
 }
@@ -291,14 +346,36 @@ FleetOrchestrator::run()
         return config_.pinWorkers ? placement[slot] : -1;
     };
 
+    // Build every worker's backend set on THIS thread (a fatal
+    // configuration must not fire inside a pool thread).  Only the
+    // kinds some session actually selected are instantiated; every
+    // fleet session shares the recurrence config (enforced in
+    // addSession), so one kernel shape serves them all.
+    std::array<bool, stream::kDecisionBackendKinds> kindInUse{};
+    for (const auto &state : sessions_)
+        kindInUse[std::size_t(state->spec.config.backend)] = true;
+    const sdtw::SdtwConfig &kernelConfig =
+        sessions_.front()->spec.classifier->config();
+    const std::size_t lanes = std::max<std::size_t>(
+        config_.dispatchBatch, sdtw::BatchSdtw::kDefaultSerialCutover);
+    std::vector<WorkerBackendSet> workerBackends(config_.workers);
+    for (unsigned w = 0; w < config_.workers; ++w)
+        for (std::size_t b = 0; b < stream::kDecisionBackendKinds; ++b)
+            if (kindInUse[b])
+                workerBackends[w].byKind[b] =
+                    stream::makeDecisionBackend(
+                        stream::DecisionBackendKind(b), asicSpec_,
+                        kernelConfig, lanes, config_.laneBatching);
+
     std::vector<std::thread> workers;
     workers.reserve(config_.workers);
     for (unsigned w = 0; w < config_.workers; ++w)
-        workers.emplace_back([this, cpu = plannedCpu(w)] {
-            if (cpu >= 0)
-                topo::pinThreadToCpu(cpu);
-            workerMain();
-        });
+        workers.emplace_back(
+            [this, cpu = plannedCpu(w), &set = workerBackends[w]] {
+                if (cpu >= 0)
+                    topo::pinThreadToCpu(cpu);
+                workerMain(set);
+            });
 
     // One driver thread per session: each runs its own virtual-time
     // event loop and blocks (backpressure) independently.
@@ -375,6 +452,9 @@ FleetOrchestrator::snapshot() const
     for (std::size_t c = 0; c < kQosClasses; ++c)
         snap.dispatchesByClass[c] =
             dispatchesByClass_[c].load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < stream::kDecisionBackendKinds; ++b)
+        snap.requestsByBackend[b] =
+            requestsByBackend_[b].load(std::memory_order_relaxed);
 
     snap.sessions.reserve(sessions_.size());
     for (std::size_t i = 0; i < sessions_.size(); ++i) {
@@ -382,6 +462,7 @@ FleetOrchestrator::snapshot() const
         SessionSnapshot s;
         s.name = state.spec.name;
         s.qos = state.spec.qos;
+        s.backend = state.spec.config.backend;
         s.queueDepth = queue_.depth(std::uint32_t(i));
         s.chunksEmitted =
             state.live.chunksEmitted.load(std::memory_order_relaxed);

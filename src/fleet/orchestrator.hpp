@@ -114,6 +114,9 @@ struct SessionSnapshot
 {
     std::string name;
     QosClass qos = QosClass::Research;
+    /** Decision engine this session selected (software / asic). */
+    stream::DecisionBackendKind backend =
+        stream::DecisionBackendKind::Software;
     std::size_t queueDepth = 0;        //!< requests queued right now
     std::uint64_t chunksEmitted = 0;
     std::uint64_t decisions = 0;
@@ -170,6 +173,11 @@ struct FleetSnapshot
     double laneOccupancy = 0.0;
     /** Dispatches served per QoS class (index = QosClass). */
     std::array<std::uint64_t, kQosClasses> dispatchesByClass{};
+    /** Requests folded per decision backend (index =
+        stream::DecisionBackendKind): the fleet's dispatch share
+        between measured software and modelled hardware. */
+    std::array<std::uint64_t, stream::kDecisionBackendKinds>
+        requestsByBackend{};
     /** Degradation totals across the fleet (fault injection). */
     FaultLedger faults;
     std::vector<SessionSnapshot> sessions;
@@ -244,11 +252,27 @@ class FleetOrchestrator final : public stream::DecisionService
         explicit SessionState(SessionSpec s) : spec(std::move(s)) {}
     };
 
-    void workerMain();
+    /** One worker's decision engines, one per backend kind a fleet
+        session may request (the asic slot stays null in an
+        all-software fleet).  Constructed on the run() thread so a
+        fatal configuration never fires inside a worker. */
+    struct WorkerBackendSet
+    {
+        std::array<std::unique_ptr<stream::DecisionBackend>,
+                   stream::kDecisionBackendKinds>
+            byKind;
+    };
+
+    void workerMain(WorkerBackendSet &backends);
 
     FleetConfig config_;
     QosBoundedQueue<stream::DecisionRequest> queue_;
     std::vector<std::unique_ptr<SessionState>> sessions_;
+    /** Design point shared by every Asic session (addSession enforces
+        uniformity: one modelled chip per fleet, like the kernel
+        config). */
+    stream::AsicSpec asicSpec_{};
+    bool hasAsic_ = false;
 
     std::atomic<bool> started_{false};
     std::atomic<bool> finished_{false};
@@ -259,6 +283,9 @@ class FleetOrchestrator final : public stream::DecisionService
     std::atomic<std::uint64_t> dispatchedRequests_{0};
     std::array<std::atomic<std::uint64_t>, kQosClasses>
         dispatchesByClass_{};
+    std::array<std::atomic<std::uint64_t>,
+               stream::kDecisionBackendKinds>
+        requestsByBackend_{};
     std::atomic<std::uint64_t> laneJobs_{0};
     std::atomic<std::uint64_t> laneSlots_{0};
     std::atomic<double> wallSecondsFinal_{0.0};

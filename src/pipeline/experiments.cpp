@@ -5,6 +5,7 @@
 #include <functional>
 #include <tuple>
 
+#include "common/env.hpp"
 #include "common/memo.hpp"
 #include "genome/synthetic.hpp"
 #include "sdtw/threshold.hpp"
@@ -65,10 +66,7 @@ defaultSimulator()
 double
 benchScale()
 {
-    const char *env = std::getenv("SF_SCALE");
-    if (env == nullptr)
-        return 1.0;
-    const double scale = std::atof(env);
+    const double scale = envDouble("SF_SCALE", 1.0);
     return std::max(0.1, scale);
 }
 

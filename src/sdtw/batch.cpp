@@ -6,6 +6,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/env.hpp"
 #include "common/logging.hpp"
 #include "common/topology.hpp"
 
@@ -181,7 +182,7 @@ simdLaneWidth(SimdBackend backend)
 SimdBackend
 detectSimdBackend()
 {
-    if (const char *env = std::getenv("SF_SDTW_SIMD")) {
+    if (const char *env = envString("SF_SDTW_SIMD")) {
         const std::string want(env);
         SimdBackend backend = SimdBackend::Scalar;
         if (want == "scalar")
@@ -226,15 +227,8 @@ BatchSdtw::BatchSdtw(SdtwConfig config, std::size_t lane_capacity,
         std::max(kDefaultSerialCutover, width_ * 3 / 4);
     bonusUnit_ = Cost(std::llround(config.matchBonus));
     fold_ = resolveFold(backend_, config, config.matchBonus > 0.0);
-    if (const char *env = std::getenv("SF_SDTW_TILE_COLS")) {
-        char *end = nullptr;
-        const unsigned long long v = std::strtoull(env, &end, 10);
-        if (end == env || *end != '\0')
-            fatal("SF_SDTW_TILE_COLS=%s is not a non-negative "
-                  "integer (columns per tile, 0 = auto)",
-                  env);
-        tileCols_ = std::size_t(v);
-    }
+    // Strict parse: a malformed value is fatal (0 = auto-size).
+    tileCols_ = envSize("SF_SDTW_TILE_COLS", tileCols_);
 }
 
 void

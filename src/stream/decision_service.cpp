@@ -1,5 +1,6 @@
 #include "stream/decision_service.hpp"
 
+#include "hw/asic_backend.hpp"
 #include "sdtw/batch.hpp"
 
 namespace sf::stream {
@@ -17,9 +18,33 @@ microsSince(Clock::time_point start, Clock::time_point end)
 
 } // namespace
 
+const char *
+decisionBackendName(DecisionBackendKind kind)
+{
+    switch (kind) {
+    case DecisionBackendKind::Software:
+        return "software";
+    case DecisionBackendKind::Asic:
+        return "asic";
+    }
+    panic("unknown DecisionBackendKind %d", int(kind));
+}
+
+const char *
+asicDataflowName(AsicDataflow dataflow)
+{
+    switch (dataflow) {
+    case AsicDataflow::QueryStationary:
+        return "query_stationary";
+    case AsicDataflow::ReferenceStationary:
+        return "reference_stationary";
+    }
+    panic("unknown AsicDataflow %d", int(dataflow));
+}
+
 void
 foldDispatch(std::vector<DecisionRequest> &batch, sdtw::BatchSdtw &kernel,
-             bool lane_batching)
+             bool lane_batching, const DecisionLatencyFn &latency)
 {
     // Exclusive-ownership invariant: a dispatch may carry at most one
     // request per (board, slot), else two lanes would alias one
@@ -40,7 +65,9 @@ foldDispatch(std::vector<DecisionRequest> &batch, sdtw::BatchSdtw &kernel,
             if (req.endOfRead)
                 cls.finishStream(*req.stream);
             req.board->complete(
-                req.slot, microsSince(req.enqueued, Clock::now()));
+                req.slot,
+                latency ? latency(req)
+                        : microsSince(req.enqueued, Clock::now()));
         }
         return;
     }
@@ -73,8 +100,49 @@ foldDispatch(std::vector<DecisionRequest> &batch, sdtw::BatchSdtw &kernel,
         const auto done = Clock::now();
         for (std::size_t j : members)
             batch[j].board->complete(
-                batch[j].slot, microsSince(batch[j].enqueued, done));
+                batch[j].slot,
+                latency ? latency(batch[j])
+                        : microsSince(batch[j].enqueued, done));
     }
+}
+
+SoftwareBackend::SoftwareBackend(const sdtw::SdtwConfig &config,
+                                 std::size_t lane_capacity,
+                                 bool lane_batching)
+    : kernel_(std::make_unique<sdtw::BatchSdtw>(config, lane_capacity)),
+      laneBatching_(lane_batching)
+{
+}
+
+void
+SoftwareBackend::fold(std::vector<DecisionRequest> &batch)
+{
+    foldDispatch(batch, *kernel_, laneBatching_);
+}
+
+const sdtw::FoldStats &
+SoftwareBackend::foldStats() const
+{
+    return kernel_->foldStats();
+}
+
+std::unique_ptr<DecisionBackend>
+makeDecisionBackend(DecisionBackendKind kind, const AsicSpec &asic,
+                    const sdtw::SdtwConfig &config,
+                    std::size_t lane_capacity, bool lane_batching)
+{
+    // The single stream -> hw reach-down: stream/ owns the backend
+    // vocabulary, hw/ implements the modelled-ASIC plug-in.
+    switch (kind) {
+    case DecisionBackendKind::Software:
+        return std::make_unique<SoftwareBackend>(config, lane_capacity,
+                                                 lane_batching);
+    case DecisionBackendKind::Asic:
+        return std::make_unique<hw::AsicBackend>(asic, config,
+                                                 lane_capacity,
+                                                 lane_batching);
+    }
+    panic("unknown DecisionBackendKind %d", int(kind));
 }
 
 } // namespace sf::stream

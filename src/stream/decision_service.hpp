@@ -22,6 +22,8 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -29,10 +31,12 @@
 #include "common/logging.hpp"
 #include "common/types.hpp"
 #include "sdtw/filter.hpp"
+#include "stream/decision_backend.hpp"
 #include "stream/fault_plan.hpp"
 
 namespace sf::sdtw {
 class BatchSdtw;
+struct FoldStats;
 }
 
 namespace sf::stream {
@@ -119,6 +123,9 @@ struct DecisionRequest
     CompletionBoard *board = nullptr;
     std::size_t slot = 0;        //!< channel index within the board
     std::uint32_t sessionId = 0; //!< admission bookkeeping (fleet)
+    /** Engine the submitting session selected; a shared fleet pool
+        routes each request to its worker's backend of this kind. */
+    DecisionBackendKind backend = DecisionBackendKind::Software;
     std::chrono::steady_clock::time_point enqueued{};
 };
 
@@ -178,6 +185,17 @@ class DecisionService
 };
 
 /**
+ * Per-decision latency override for foldDispatch: called after a
+ * request's fold finished but BEFORE its board slot completes (the
+ * stream is still exclusively owned by the worker, so the hook may
+ * read it), returning the latency in microseconds to record.  An
+ * empty function keeps the default wall-clock measurement.  This is
+ * how a modelled-hardware backend substitutes cycle-model latency for
+ * wall time without touching the fold itself.
+ */
+using DecisionLatencyFn = std::function<double(const DecisionRequest &)>;
+
+/**
  * Fold one dispatch's requests and complete them on their boards.
  *
  * With @p lane_batching the requests are grouped by classifier (a
@@ -189,7 +207,77 @@ class DecisionService
  * mid-fold would corrupt it, so duplicates panic.
  */
 void foldDispatch(std::vector<DecisionRequest> &batch,
-                  sdtw::BatchSdtw &kernel, bool lane_batching);
+                  sdtw::BatchSdtw &kernel, bool lane_batching,
+                  const DecisionLatencyFn &latency = {});
+
+/**
+ * One worker's decision engine: folds dispatches through the shared
+ * quantised DP and decides what latency each decision is charged.
+ * Implementations are NOT thread-safe — one instance per worker,
+ * constructed on the session/orchestrator main thread so a bad
+ * configuration fatals before any worker thread exists.
+ *
+ * Every backend produces bit-identical scores, decisions and
+ * checkpoint states (the fold is the same kernel); only the latency
+ * recorded on the CompletionBoard and the modelled telemetry differ.
+ */
+class DecisionBackend
+{
+  public:
+    virtual ~DecisionBackend() = default;
+
+    virtual DecisionBackendKind kind() const = 0;
+
+    /** Fold @p batch and complete every request on its board. */
+    virtual void fold(std::vector<DecisionRequest> &batch) = 0;
+
+    /** Cumulative SIMD-slot utilisation of the underlying kernel. */
+    virtual const sdtw::FoldStats &foldStats() const = 0;
+
+    /** Modelled-hardware ledger; zeros for pure-software backends. */
+    virtual ModeledHwStats
+    modeledStats() const
+    {
+        return {};
+    }
+};
+
+/**
+ * Software path: the per-worker SIMD BatchSdtw that has always run
+ * decisions, behind the backend seam.  Latency is wall time from
+ * enqueue to completion.
+ */
+class SoftwareBackend final : public DecisionBackend
+{
+  public:
+    SoftwareBackend(const sdtw::SdtwConfig &config,
+                    std::size_t lane_capacity, bool lane_batching);
+
+    DecisionBackendKind
+    kind() const override
+    {
+        return DecisionBackendKind::Software;
+    }
+    void fold(std::vector<DecisionRequest> &batch) override;
+    const sdtw::FoldStats &foldStats() const override;
+
+  private:
+    std::unique_ptr<sdtw::BatchSdtw> kernel_;
+    bool laneBatching_ = true;
+};
+
+/**
+ * Construct the backend @p kind configured for one worker.  @p asic
+ * is consulted only for DecisionBackendKind::Asic; @p config must be
+ * the kernel configuration shared by every classifier the worker will
+ * fold (the session/fleet uniformity checks guarantee this).  Fatals
+ * on a configuration the modelled hardware cannot implement — call on
+ * the main thread.
+ */
+std::unique_ptr<DecisionBackend>
+makeDecisionBackend(DecisionBackendKind kind, const AsicSpec &asic,
+                    const sdtw::SdtwConfig &config,
+                    std::size_t lane_capacity, bool lane_batching);
 
 } // namespace sf::stream
 

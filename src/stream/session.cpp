@@ -115,6 +115,21 @@ class LocalDecisionService final : public DecisionService
                          const SessionConfig &config)
         : queue_(config.queueCapacity)
     {
+        // Build every worker's backend on THIS thread: a backend the
+        // configuration cannot support (e.g. modelled hardware for a
+        // non-hardware kernel config) fatals here, before any worker
+        // thread exists.  Each worker owns one backend — the software
+        // one wraps the per-worker lane-batch kernel sized to its
+        // dispatch pull, the modelled-ASIC one folds through the same
+        // kernel and substitutes cycle-model latency.
+        const std::size_t lanes = std::max<std::size_t>(
+            config.dispatchBatch, sdtw::BatchSdtw::kDefaultSerialCutover);
+        backends_.reserve(config.workers);
+        for (unsigned w = 0; w < config.workers; ++w)
+            backends_.push_back(makeDecisionBackend(
+                config.backend, config.asic, kernel_config, lanes,
+                config.laneBatching));
+
         // Node-compact worker placement (wall-clock only: pinning
         // must never change a decision, see SessionConfig).
         const std::vector<int> placement =
@@ -123,22 +138,13 @@ class LocalDecisionService final : public DecisionService
         workers_.reserve(config.workers);
         for (unsigned w = 0; w < config.workers; ++w) {
             const int cpu = config.pinWorkers ? placement[w] : -1;
-            workers_.emplace_back([this, kernel_config, config,
-                                   cpu]() {
+            DecisionBackend *backend = backends_[w].get();
+            workers_.emplace_back([this, backend, config, cpu]() {
                 if (cpu >= 0)
                     topo::pinThreadToCpu(cpu);
-                // Each worker owns a lane-batch kernel sized to its
-                // dispatch pull, so one pull's cross-channel requests
-                // fold as one SIMD batch.  The serial path is kept
-                // for A/B measurement; decisions are bit-identical.
-                sdtw::BatchSdtw kernel(
-                    kernel_config,
-                    std::max<std::size_t>(
-                        config.dispatchBatch,
-                        sdtw::BatchSdtw::kDefaultSerialCutover));
                 std::vector<DecisionRequest> batch;
                 while (queue_.popBatch(batch, config.dispatchBatch)) {
-                    foldDispatch(batch, kernel, config.laneBatching);
+                    backend->fold(batch);
                     {
                         std::lock_guard lock(statsMutex_);
                         ++dispatches_;
@@ -146,10 +152,6 @@ class LocalDecisionService final : public DecisionService
                     }
                     batch.clear();
                 }
-                std::lock_guard lock(statsMutex_);
-                const auto &fs = kernel.foldStats();
-                laneJobs_ += fs.laneJobs;
-                laneSlots_ += fs.laneSlots;
             });
         }
     }
@@ -182,14 +184,23 @@ class LocalDecisionService final : public DecisionService
                    : 0.0;
     }
 
+    /** Summed modelled-hardware ledger; call after shutdown(). */
+    ModeledHwStats
+    modeledStats() const
+    {
+        ModeledHwStats total;
+        for (const auto &backend : backends_)
+            total.accumulate(backend->modeledStats());
+        return total;
+    }
+
   private:
     BoundedQueue<DecisionRequest> queue_;
+    std::vector<std::unique_ptr<DecisionBackend>> backends_;
     std::vector<std::thread> workers_;
     std::mutex statsMutex_;
     std::uint64_t dispatches_ = 0;
     std::uint64_t dispatchedRequests_ = 0;
-    std::uint64_t laneJobs_ = 0;
-    std::uint64_t laneSlots_ = 0;
 };
 
 /**
@@ -298,7 +309,8 @@ runEventLoop(const sdtw::SquiggleFilterClassifier &classifier,
         board.markPending(std::size_t(c));
         if (!service.submit(DecisionRequest{
                 &ch.stream, ch.cls, std::move(samples), end, &board,
-                std::size_t(c), session_id, Clock::now()})) {
+                std::size_t(c), session_id, config.backend,
+                Clock::now()})) {
             ch.inFlight = false;
             service_down = true;
             // The request never reached a worker: its chunks are
@@ -675,6 +687,7 @@ runEventLoop(const sdtw::SquiggleFilterClassifier &classifier,
               (unsigned long long)deg.chunksAborted);
 
     // ---- aggregate statistics --------------------------------------
+    stats.backend = config.backend;
     stats.readsProcessed = out.log.size();
     stats.virtualSeconds = now;
     stats.wallSeconds = wall_sec;
@@ -758,6 +771,7 @@ ReadUntilSession::run(std::span<const signal::ReadRecord> reads) const
         wall_sec > 0.0 ? double(out.stats.chunksEmitted) / wall_sec : 0.0;
     out.stats.dispatches = service.dispatches();
     out.stats.meanBatchSize = service.meanBatchSize();
+    out.stats.hwModel = service.modeledStats();
     return out;
 }
 

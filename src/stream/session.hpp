@@ -34,6 +34,7 @@
 #include "common/types.hpp"
 #include "sdtw/filter.hpp"
 #include "signal/read.hpp"
+#include "stream/decision_backend.hpp"
 #include "stream/fault_plan.hpp"
 
 namespace sf::stream {
@@ -70,6 +71,17 @@ struct SessionConfig
      * a graceful no-op on hosts without affinity support.
      */
     bool pinWorkers = false;
+    /**
+     * Which engine executes decision requests (see
+     * stream/decision_backend.hpp).  The virtual-clock outcomes —
+     * including decisionLatencySec, which stays the modelled budget
+     * regardless — are identical for every backend; only the measured
+     * latency/energy report changes.
+     */
+    DecisionBackendKind backend = DecisionBackendKind::Software;
+    /** Modelled-ASIC design point; consulted only when backend is
+        DecisionBackendKind::Asic. */
+    AsicSpec asic{};
     std::uint64_t seed = 0x5f5f;        //!< master seed (capture delays)
     double maxVirtualHours = 24.0;      //!< safety stop
     /**
@@ -147,6 +159,13 @@ struct SessionStats
 
     /** Fault/degradation ledger (all-zero on a clean flowcell). */
     DegradationStats degradation;
+
+    /** Backend that executed the decisions. */
+    DecisionBackendKind backend = DecisionBackendKind::Software;
+    /** Modelled-hardware ledger (all-zero on the software backend).
+        With the Asic backend, `latency` above holds the cycle-model
+        percentiles instead of wall time. */
+    ModeledHwStats hwModel;
 
     /** Work advantage of checkpointing (>= 1). */
     double

@@ -557,13 +557,14 @@ const std::vector<std::string> kTopLevelKeys = {
     "wall_seconds",   "chunks_emitted", "chunks_per_sec",
     "dispatches",     "dispatched_requests", "mean_batch",
     "lane_jobs",      "lane_slots",     "lane_occupancy",
-    "dispatches_by_class", "fault_ledger", "sessions"};
+    "dispatches_by_class", "requests_by_backend", "fault_ledger",
+    "sessions"};
 const std::vector<std::string> kLedgerKeys = {
     "backpressure_stalls", "dead_channels", "recovering_channels",
     "dropouts",  "recoveries", "aborted_reads", "worn_pores",
     "revived_pores", "washes", "hot_swap_epochs", "storm_windows"};
 const std::vector<std::string> kSessionKeys = {
-    "name", "qos", "queue_depth", "chunks_emitted",
+    "name", "qos", "backend", "queue_depth", "chunks_emitted",
     "decisions", "finished", "degradation"};
 // A session's degradation object = the ledger keys + the histogram.
 const std::string kWearHistKey = "wear_hist";
@@ -595,6 +596,7 @@ TEST(SnapshotSchemaTest, ToJsonRoundTripsEveryDocumentedField)
     snap.laneSlots = 1024;
     snap.laneOccupancy = 0.875;
     snap.dispatchesByClass = {500, 277};
+    snap.requestsByBackend = {1700, 522};
     snap.faults.backpressureStalls = 11;
     snap.faults.deadChannels = 3;
     snap.faults.recoveringChannels = 2;
@@ -609,6 +611,7 @@ TEST(SnapshotSchemaTest, ToJsonRoundTripsEveryDocumentedField)
     SessionSnapshot a;
     a.name = "cell-0";
     a.qos = QosClass::Stat;
+    a.backend = stream::DecisionBackendKind::Asic;
     a.queueDepth = 3;
     a.chunksEmitted = 4000;
     a.decisions = 64;
@@ -661,6 +664,11 @@ TEST(SnapshotSchemaTest, ToJsonRoundTripsEveryDocumentedField)
     EXPECT_DOUBLE_EQ(by_class.at("stat").number, 500.0);
     EXPECT_DOUBLE_EQ(by_class.at("research").number, 277.0);
 
+    const JsonValue &by_backend = root.at("requests_by_backend");
+    expectExactKeys(by_backend, {"software", "asic"}, "by backend");
+    EXPECT_DOUBLE_EQ(by_backend.at("software").number, 1700.0);
+    EXPECT_DOUBLE_EQ(by_backend.at("asic").number, 522.0);
+
     const JsonValue &ledger = root.at("fault_ledger");
     expectExactKeys(ledger, kLedgerKeys, "fault_ledger");
     EXPECT_DOUBLE_EQ(ledger.at("backpressure_stalls").number, 11.0);
@@ -683,6 +691,7 @@ TEST(SnapshotSchemaTest, ToJsonRoundTripsEveryDocumentedField)
     expectExactKeys(s0, kSessionKeys, "session 0");
     EXPECT_EQ(s0.at("name").string, "cell-0");
     EXPECT_EQ(s0.at("qos").string, "stat");
+    EXPECT_EQ(s0.at("backend").string, "asic");
     EXPECT_DOUBLE_EQ(s0.at("queue_depth").number, 3.0);
     EXPECT_DOUBLE_EQ(s0.at("chunks_emitted").number, 4000.0);
     EXPECT_DOUBLE_EQ(s0.at("decisions").number, 64.0);
@@ -715,6 +724,7 @@ TEST(SnapshotSchemaTest, ToJsonRoundTripsEveryDocumentedField)
     expectExactKeys(s1, kSessionKeys, "session 1");
     EXPECT_EQ(s1.at("name").string, "cell-1");
     EXPECT_EQ(s1.at("qos").string, "research");
+    EXPECT_EQ(s1.at("backend").string, "software");
     EXPECT_TRUE(s1.at("finished").boolean);
     EXPECT_DOUBLE_EQ(
         s1.at("degradation").at("backpressure_stalls").number, 1.0);

@@ -12,16 +12,20 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "fleet/orchestrator.hpp"
 #include "genome/synthetic.hpp"
 #include "hw/accelerator.hpp"
+#include "hw/asic_backend.hpp"
 #include "hw/asic_model.hpp"
 #include "hw/systolic.hpp"
 #include "hw/tile.hpp"
+#include "pipeline/experiments.hpp"
 #include "pore/kmer_model.hpp"
 #include "pore/reference_squiggle.hpp"
 #include "sdtw/batch.hpp"
 #include "sdtw/filter.hpp"
 #include "signal/dataset.hpp"
+#include "stream/session.hpp"
 
 namespace sf::hw {
 namespace {
@@ -454,6 +458,320 @@ TEST(AsicModel, InvalidConfigIsFatal)
 {
     EXPECT_THROW(AsicModel(0, 5), FatalError);
     EXPECT_THROW(AsicModel(2000, 0), FatalError);
+}
+
+// ---------------------------------------------------------------- //
+//              modelled-ASIC decision backend: cycle model          //
+// ---------------------------------------------------------------- //
+
+TEST(AsicBackendModel, SinglePassQueryStationaryMeetsPaperBudget)
+{
+    // One 0.4 s chunk (1600 samples at 4 kHz) against the ~97k-sample
+    // SARS-CoV-2 reference on the Table 4 design point: 2L normalise
+    // + one (L + M - 1)-cycle pass, inside the paper's 43 us budget.
+    stream::AsicSpec spec; // D = 2000, QS, 2.5 GHz
+    const auto m = modelDecision(spec, 1600, 97000,
+                                 /*resumed=*/false,
+                                 /*checkpointed=*/false);
+    EXPECT_EQ(m.passes, 1u);
+    EXPECT_EQ(m.cycles, 2 * 1600 + 1600 + (97000 - 1));
+    EXPECT_EQ(m.checkpointBytes, 0u);
+    const double us = double(m.cycles) / (spec.clockGhz * 1e3);
+    EXPECT_LT(us, 43.0);
+    EXPECT_GT(us, 35.0);
+}
+
+TEST(AsicBackendModel, QueryLongerThanArrayTakesMultiplePasses)
+{
+    stream::AsicSpec spec;
+    spec.arrayDim = 2000;
+    const auto m = modelDecision(spec, 4500, 10000, false, false);
+    EXPECT_EQ(m.passes, 3u); // ceil(4500 / 2000)
+    EXPECT_EQ(m.cycles, 2 * 4500 + 4500 + 3 * (10000 - 1));
+    // The 10000-cell DP row round-trips DRAM between passes.
+    EXPECT_EQ(m.checkpointBytes,
+              2u * 2 * 10000 * SystolicArray::kCheckpointBytesPerCell);
+}
+
+TEST(AsicBackendModel, ReferenceStationaryTilesLongReferences)
+{
+    stream::AsicSpec spec;
+    spec.arrayDim = 2000;
+    spec.dataflow = stream::AsicDataflow::ReferenceStationary;
+    const auto m = modelDecision(spec, 1600, 97000, false, false);
+    EXPECT_EQ(m.passes, 49u); // ceil(97000 / 2000)
+    EXPECT_EQ(m.cycles, 2 * 1600 + 49 * 1600 + 97000 - 49);
+    EXPECT_EQ(m.checkpointBytes,
+              48u * 2 * 1600 * SystolicArray::kCheckpointBytesPerCell);
+
+    // An array covering the whole reference needs exactly one tile
+    // and no inter-tile carry.
+    spec.arrayDim = 100000;
+    const auto one = modelDecision(spec, 1600, 97000, false, false);
+    EXPECT_EQ(one.passes, 1u);
+    EXPECT_EQ(one.checkpointBytes, 0u);
+}
+
+TEST(AsicBackendModel, MultiStageCheckpointTrafficAndZeroWork)
+{
+    stream::AsicSpec spec;
+    // A chunk that crossed no stage boundary folds nothing and costs
+    // no modelled cycles.
+    const auto idle = modelDecision(spec, 0, 97000, true, true);
+    EXPECT_EQ(idle.cycles, 0u);
+    EXPECT_EQ(idle.checkpointBytes, 0u);
+
+    // Resume reads the saved M-cell row; an undecided stream writes
+    // it back (paper §4.6).
+    const auto fresh = modelDecision(spec, 1600, 97000, false, false);
+    const auto mid = modelDecision(spec, 1600, 97000, true, true);
+    EXPECT_EQ(mid.cycles, fresh.cycles);
+    EXPECT_EQ(mid.checkpointBytes,
+              fresh.checkpointBytes +
+                  2u * 97000 * SystolicArray::kCheckpointBytesPerCell);
+}
+
+TEST(AsicBackendModel, BackendRejectsUnimplementableConfigs)
+{
+    stream::AsicSpec spec;
+    // The hardware implements |q - r| without reference deletions;
+    // modelling it for any other recurrence would be a lie.
+    EXPECT_THROW(AsicBackend(spec, sdtw::vanillaConfig(), 16, true),
+                 FatalError);
+    sdtw::SdtwConfig refdel = sdtw::hardwareConfig();
+    refdel.allowReferenceDeletion = true;
+    EXPECT_THROW(AsicBackend(spec, refdel, 16, true), FatalError);
+
+    stream::AsicSpec zero_pes;
+    zero_pes.arrayDim = 0;
+    EXPECT_THROW(AsicBackend(zero_pes, sdtw::hardwareConfig(), 16, true),
+                 FatalError);
+    stream::AsicSpec bad_clock;
+    bad_clock.clockGhz = 0.0;
+    EXPECT_THROW(
+        AsicBackend(bad_clock, sdtw::hardwareConfig(), 16, true),
+        FatalError);
+}
+
+// ---------------------------------------------------------------- //
+//    backend parity: asic decision logs == software, bit for bit    //
+// ---------------------------------------------------------------- //
+
+// A smaller mirror of the tests/test_fleet.cpp determinism matrix:
+// the backend seam must not move one bit of any decision log, so the
+// software standalone run is the oracle for every (backend, worker
+// count, fleet mix) cell.
+#if defined(__SANITIZE_THREAD__)
+constexpr std::size_t kParityReads = 4;
+constexpr std::size_t kParityStages = 4;
+const std::vector<std::size_t> kParityFleetSizes = {2};
+const std::vector<unsigned> kParityWorkers = {4};
+#else
+constexpr std::size_t kParityReads = 12;
+constexpr std::size_t kParityStages = 6;
+const std::vector<std::size_t> kParityFleetSizes = {1, 2, 4};
+const std::vector<unsigned> kParityWorkers = {1, 4};
+#endif
+
+class BackendParityTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t kChunk = 1600; // 0.4 s at 4 kHz
+    static constexpr std::size_t kMaxFleet = 4;
+    static constexpr int kParityChannels = 4;
+
+    static const sdtw::SquiggleFilterClassifier &
+    classifier()
+    {
+        static const sdtw::SquiggleFilterClassifier instance = [] {
+            sdtw::SquiggleFilterClassifier c(
+                pipeline::streamVirusSquiggle());
+            c.setStages(sdtw::uniformStageSchedule(
+                kChunk, kParityStages,
+                pipeline::calibratedStreamThreshold(8, 0.5, 11)));
+            return c;
+        }();
+        return instance;
+    }
+
+    static stream::SessionConfig
+    sessionConfig(std::size_t i, stream::DecisionBackendKind backend)
+    {
+        stream::SessionConfig cfg;
+        cfg.channels = kParityChannels;
+        cfg.chunkSeconds = double(kChunk) / cfg.sampleRateHz;
+        cfg.seed = 0xa51c + i;
+        cfg.backend = backend;
+        return cfg;
+    }
+
+    static const signal::Dataset &
+    sessionReads(std::size_t i)
+    {
+        return pipeline::makeStreamDataset(kParityReads, 0.5,
+                                           91 + std::uint64_t(i));
+    }
+
+    /** Software standalone run of session @p i — the parity oracle. */
+    static const stream::SessionResult &
+    oracle(std::size_t i)
+    {
+        static std::vector<stream::SessionResult> cache = [] {
+            std::vector<stream::SessionResult> runs;
+            for (std::size_t s = 0; s < kMaxFleet; ++s)
+                runs.push_back(
+                    stream::ReadUntilSession(
+                        classifier(),
+                        sessionConfig(
+                            s, stream::DecisionBackendKind::Software))
+                        .run(sessionReads(s).reads));
+            return runs;
+        }();
+        return cache.at(i);
+    }
+
+    static void
+    expectLogsEqual(const stream::SessionResult &run,
+                    const stream::SessionResult &want,
+                    const std::string &context)
+    {
+        ASSERT_EQ(run.log.size(), want.log.size()) << context;
+        for (std::size_t i = 0; i < run.log.size(); ++i) {
+            const auto &a = want.log[i];
+            const auto &b = run.log[i];
+            EXPECT_EQ(a.order, b.order) << context;
+            EXPECT_EQ(a.channel, b.channel) << context;
+            EXPECT_EQ(a.readId, b.readId) << context;
+            EXPECT_EQ(a.keep, b.keep) << context;
+            EXPECT_EQ(a.cost, b.cost) << context;
+            EXPECT_EQ(a.samplesUsed, b.samplesUsed) << context;
+            EXPECT_EQ(a.stagesRun, b.stagesRun) << context;
+            EXPECT_DOUBLE_EQ(a.virtualSec, b.virtualSec) << context;
+        }
+        EXPECT_EQ(run.stats.chunksEmitted, want.stats.chunksEmitted)
+            << context;
+        EXPECT_EQ(run.stats.decisions, want.stats.decisions) << context;
+        EXPECT_EQ(run.stats.dpRowsFolded, want.stats.dpRowsFolded)
+            << context;
+    }
+};
+
+TEST_F(BackendParityTest, AsicSessionLogMatchesSoftwareAcrossWorkers)
+{
+    double first_p50 = -1.0;
+    for (unsigned workers : kParityWorkers) {
+        stream::SessionConfig cfg =
+            sessionConfig(0, stream::DecisionBackendKind::Asic);
+        cfg.workers = workers;
+        const stream::SessionResult run =
+            stream::ReadUntilSession(classifier(), cfg)
+                .run(sessionReads(0).reads);
+        expectLogsEqual(run, oracle(0),
+                        "asic workers=" + std::to_string(workers));
+        EXPECT_EQ(run.stats.backend,
+                  stream::DecisionBackendKind::Asic);
+        // Every decision was modelled, and the model actually ran.
+        EXPECT_EQ(run.stats.hwModel.decisions, run.stats.decisions);
+        EXPECT_GT(run.stats.hwModel.cycles, 0u);
+        EXPECT_GT(run.stats.hwModel.modeledLatencyUsTotal, 0.0);
+        EXPECT_GT(run.stats.hwModel.energyJoules, 0.0);
+        // Latency percentiles are cycle-model outputs, not wall time:
+        // they must be identical at every worker count.
+        if (first_p50 < 0.0)
+            first_p50 = run.stats.latency.p50us;
+        else
+            EXPECT_DOUBLE_EQ(run.stats.latency.p50us, first_p50)
+                << "modelled latency moved with worker count";
+        // The modelled chunk decision sits inside the paper's 43 us
+        // budget (single-stage passes; longer accumulations may
+        // exceed p50 but the median chunk must fit).
+        EXPECT_LT(run.stats.latency.p50us, 43.0);
+    }
+}
+
+TEST_F(BackendParityTest, SoftwareBackendIsTheDefaultAndUnmodelled)
+{
+    const stream::SessionResult &run = oracle(0);
+    EXPECT_EQ(run.stats.backend,
+              stream::DecisionBackendKind::Software);
+    EXPECT_EQ(run.stats.hwModel.decisions, 0u);
+    EXPECT_EQ(run.stats.hwModel.cycles, 0u);
+}
+
+TEST_F(BackendParityTest, MixedFleetLogsMatchOracleAcrossMatrix)
+{
+    // Alternate backends across the fleet: asic and software sessions
+    // share the worker pool and every log must still equal the
+    // software standalone oracle, at every fleet size and worker
+    // count.
+    for (std::size_t fleet_size : kParityFleetSizes) {
+        for (unsigned workers : kParityWorkers) {
+            fleet::FleetConfig cfg;
+            cfg.workers = workers;
+            cfg.queueCapacity = 32;
+            cfg.dispatchBatch = 16;
+            fleet::FleetOrchestrator fleet(cfg);
+            for (std::size_t i = 0; i < fleet_size; ++i) {
+                fleet::SessionSpec spec;
+                spec.name = "cell-" + std::to_string(i);
+                spec.classifier = &classifier();
+                spec.config = sessionConfig(
+                    i, i % 2 == 0
+                           ? stream::DecisionBackendKind::Asic
+                           : stream::DecisionBackendKind::Software);
+                spec.reads = sessionReads(i).reads;
+                fleet.addSession(std::move(spec));
+            }
+            const fleet::FleetResult result = fleet.run();
+            const std::string context =
+                "fleet=" + std::to_string(fleet_size) +
+                " workers=" + std::to_string(workers);
+            ASSERT_EQ(result.sessions.size(), fleet_size);
+            for (std::size_t i = 0; i < fleet_size; ++i)
+                expectLogsEqual(result.sessions[i].result, oracle(i),
+                                context + " session=" +
+                                    std::to_string(i));
+            // The dispatch share splits by backend and accounts for
+            // every folded request.
+            const auto &by_backend =
+                result.snapshot.requestsByBackend;
+            EXPECT_EQ(by_backend[std::size_t(
+                          stream::DecisionBackendKind::Software)] +
+                          by_backend[std::size_t(
+                              stream::DecisionBackendKind::Asic)],
+                      result.snapshot.dispatchedRequests)
+                << context;
+            EXPECT_GT(by_backend[std::size_t(
+                          stream::DecisionBackendKind::Asic)],
+                      0u)
+                << context;
+            if (fleet_size > 1) {
+                EXPECT_GT(by_backend[std::size_t(
+                              stream::DecisionBackendKind::Software)],
+                          0u)
+                    << context;
+            }
+        }
+    }
+}
+
+TEST_F(BackendParityTest, FleetRejectsAsicSpecDisagreement)
+{
+    fleet::FleetOrchestrator fleet(fleet::FleetConfig{});
+    fleet::SessionSpec a;
+    a.name = "qs";
+    a.classifier = &classifier();
+    a.config = sessionConfig(0, stream::DecisionBackendKind::Asic);
+    a.reads = sessionReads(0).reads;
+    fleet.addSession(std::move(a));
+
+    fleet::SessionSpec b;
+    b.name = "rs";
+    b.classifier = &classifier();
+    b.config = sessionConfig(1, stream::DecisionBackendKind::Asic);
+    b.config.asic.dataflow = stream::AsicDataflow::ReferenceStationary;
+    b.reads = sessionReads(1).reads;
+    EXPECT_THROW(fleet.addSession(std::move(b)), FatalError);
 }
 
 } // namespace
